@@ -1,0 +1,93 @@
+// Command xqestimate runs XQ-estimator standalone: it reports the
+// frequency, power, and area of every control-processor unit for a chosen
+// technology, scale, and optimization set, plus the validation tables.
+//
+// Usage:
+//
+//	xqestimate -tech rsfq -n 10000 -d 15
+//	xqestimate -tech ersfq -n 59000 -opt2 -opt3 -opt4
+//	xqestimate -validate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xqsim"
+)
+
+func main() {
+	var (
+		techName = flag.String("tech", "rsfq", "technology: 300k-cmos | 4k-cmos | rsfq | ersfq")
+		n        = flag.Int("n", 10000, "physical qubits")
+		d        = flag.Int("d", 15, "code distance")
+		opt2     = flag.Bool("opt2", false, "PSU mask-generator sharing (Optimization #2)")
+		opt3     = flag.Bool("opt3", false, "TCU simple buffer (Optimization #3)")
+		opt4     = flag.Bool("opt4", false, "EDU patch-sliding (Optimization #4)")
+		vscale   = flag.Bool("vscale", false, "4K CMOS power-oriented voltage scaling")
+		validate = flag.Bool("validate", false, "print the Fig. 10/12 validation tables and exit")
+	)
+	flag.Parse()
+
+	if *validate {
+		fmt.Println("Fig. 10 — frequency validation (MITLL RTL simulation):")
+		for _, r := range xqsim.ValidateMITLL() {
+			fmt.Printf("  %-22s %8d JJ   model %6.2f GHz   ref %6.2f GHz   err %4.1f%%\n",
+				r.Circuit, r.JJ, r.Model, r.Ref, r.ErrPct())
+		}
+		fmt.Println("Fig. 12 — post-layout validation (AIST process):")
+		for _, r := range xqsim.ValidateAIST() {
+			fmt.Printf("  %-22s %8d JJ   %-5s model %10.4g   ref %10.4g   err %4.1f%%\n",
+				r.Circuit, r.JJ, r.Metric, r.Model, r.Ref, r.ErrPct())
+		}
+		return
+	}
+
+	var kind xqsim.TechKind
+	switch *techName {
+	case "300k-cmos":
+		kind = xqsim.CMOS300K
+	case "4k-cmos":
+		kind = xqsim.CMOS4K
+	case "rsfq":
+		kind = xqsim.RSFQ
+	case "ersfq":
+		kind = xqsim.ERSFQ
+	default:
+		fmt.Fprintf(os.Stderr, "xqestimate: unknown technology %q\n", *techName)
+		os.Exit(1)
+	}
+
+	scale := xqsim.ScaleFor(*n, *d)
+	opts := buildOptions(*d, *opt2, *opt3, *opt4, *vscale)
+	ests := xqsim.EstimateAll(scale, kind, opts)
+
+	fmt.Printf("XQ-estimator: %s at %d physical qubits (%d patches, d=%d)\n",
+		kind, *n, scale.NPatches, *d)
+	fmt.Printf("%-5s %10s %12s %12s %12s %10s\n", "unit", "freq", "static", "dynamic", "total", "area")
+	var totW, totA float64
+	for u := xqsim.UnitQID; u <= xqsim.UnitLMU; u++ {
+		e := ests[u]
+		fmt.Printf("%-5v %8.2fGHz %10.4fmW %10.4fmW %10.4fmW %8.3fcm2\n",
+			u, e.FreqGHz, e.StaticW*1e3, e.DynamicW*1e3, e.TotalW()*1e3, e.AreaCm2)
+		totW += e.TotalW()
+		totA += e.AreaCm2
+	}
+	fmt.Printf("%-5s %10s %12s %12s %10.4fmW %8.3fcm2\n", "total", "", "", "", totW*1e3, totA)
+}
+
+func buildOptions(d int, opt2, opt3, opt4, vscale bool) xqsim.EstimatorOptions {
+	o := xqsim.DefaultEstimatorOptions(d)
+	if opt2 {
+		o.PSU = xqsim.OptimizedPSUOptions()
+	}
+	if opt3 {
+		o.TCU.SimpleBuffer = true
+	}
+	if opt4 {
+		o.EDU.PatchSliding = true
+	}
+	o.VoltageScaling = vscale
+	return o
+}

@@ -1,0 +1,149 @@
+// Command xqsim runs a workload through the full control-processor stack
+// and reports the scalability metrics and (optionally) the functional
+// output distribution.
+//
+// Usage:
+//
+//	xqsim -workload random -lq 4 -pprs 10 -d 15 -system future-final
+//	xqsim -workload qaoa -lq 4 -d 5 -shots 512 -functional
+//	xqsim -workload qft2 -d 5 -shots 2048 -functional
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xqsim"
+)
+
+func main() {
+	var (
+		workload   = flag.String("workload", "random", "workload: random | qft2 | qaoa | ppr")
+		lq         = flag.Int("lq", 4, "logical qubits (random/qaoa)")
+		pprs       = flag.Int("pprs", 10, "rotation count (random)")
+		product    = flag.String("product", "ZZZ", "Pauli product (ppr workload)")
+		d          = flag.Int("d", 15, "code distance")
+		p          = flag.Float64("p", 0.001, "physical error rate")
+		seed       = flag.Int64("seed", 1, "random seed")
+		shots      = flag.Int("shots", 256, "shots (functional mode)")
+		functional = flag.Bool("functional", false, "run the noisy quantum backend and report the output distribution")
+		system     = flag.String("system", "current", "system: current | current-opt1 | nf-rsfq | nf-rsfq-opt | nf-cmos | nf-cmos-vs | future | future-edu4k | future-final")
+		nphys      = flag.Int("n", 0, "evaluate scalability at this qubit count (0 = workload size)")
+		trace      = flag.String("trace", "", "write a per-instruction JSON trace of one shot to this file")
+	)
+	flag.Parse()
+
+	circ, err := buildWorkload(*workload, *lq, *pprs, *product, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xqsim:", err)
+		os.Exit(1)
+	}
+
+	sys, scheme, err := buildSystem(*system, *d)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xqsim:", err)
+		os.Exit(1)
+	}
+
+	if *trace != "" {
+		if err := writeTrace(circ, *d, *p, *seed, *trace); err != nil {
+			fmt.Fprintln(os.Stderr, "xqsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace to %s\n", *trace)
+	}
+
+	if *functional {
+		dist, metrics, err := xqsim.RunShots(circ.SubstituteStabilizer(), *d, *p, *shots, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xqsim:", err)
+			os.Exit(1)
+		}
+		ref := xqsim.ReferenceDistribution(circ.SubstituteStabilizer())
+		fmt.Printf("workload %s (%d logical qubits, d=%d, p=%g, %d shots)\n",
+			circ.Name, circ.NLQ, *d, *p, *shots)
+		fmt.Println("outcome   measured   reference")
+		for i := range dist {
+			if dist[i] > 0.002 || ref[i] > 0.002 {
+				fmt.Printf("  %0*b    %6.4f     %6.4f\n", circ.NLQ, i, dist[i], ref[i])
+			}
+		}
+		fmt.Printf("ESM rounds: %d, decode windows: %d, instructions: %d\n",
+			metrics.ESMRounds, metrics.DecodeWindows, metrics.Instructions)
+	}
+
+	rates := xqsim.MeasureRates(*d, *p, scheme, *seed)
+	n := *nphys
+	if n == 0 {
+		n = xqsim.NewPPRLayout(circ.NLQ, *d).PhysicalQubits()
+	}
+	rep := sys.Evaluate(n, rates)
+	fmt.Printf("\nsystem %s at %d physical qubits:\n", sys.Name, n)
+	fmt.Printf("  instruction bandwidth : %8.1f Gbps\n", rep.InstBandwidthGbps)
+	fmt.Printf("  decode latency        : %8.1f ns\n", rep.DecodeLatencyNs)
+	fmt.Printf("  300K-4K transfer      : %8.1f Gbps (%.3f W cable heat)\n", rep.CrossTransferGbps, rep.CrossHeatW)
+	fmt.Printf("  4K device power       : %8.4f W\n", rep.Power4KW)
+	fmt.Printf("  4K device area        : %8.2f cm^2\n", rep.Area4KCm2)
+	if rep.OK() {
+		fmt.Println("  all constraints satisfied")
+	} else {
+		fmt.Println("  VIOLATED:", rep.Violations())
+	}
+	fmt.Printf("  sustainable scale     : %d qubits\n", sys.MaxQubits(rates))
+}
+
+func writeTrace(circ xqsim.Circuit, d int, p float64, seed int64, path string) error {
+	res, err := xqsim.Compile(circ.SubstituteStabilizer())
+	if err != nil {
+		return err
+	}
+	pl := xqsim.NewTracedPipeline(circ.NLQ, d, p, seed)
+	if err := pl.Run(res.Program); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return pl.WriteTrace(f)
+}
+
+func buildWorkload(kind string, lq, pprs int, product string, seed int64) (xqsim.Circuit, error) {
+	switch kind {
+	case "random":
+		return xqsim.RandomPPR(lq, pprs, seed), nil
+	case "qft2":
+		return xqsim.QFT2(2), nil
+	case "qaoa":
+		return xqsim.QAOA(lq), nil
+	case "ppr":
+		return xqsim.SinglePPR(product, xqsim.AnglePi8), nil
+	}
+	return xqsim.Circuit{}, fmt.Errorf("unknown workload %q", kind)
+}
+
+func buildSystem(name string, d int) (*xqsim.System, xqsim.Scheme, error) {
+	switch name {
+	case "current":
+		return xqsim.CurrentSystem(d, false), xqsim.SchemeRoundRobin, nil
+	case "current-opt1":
+		return xqsim.CurrentSystem(d, true), xqsim.SchemePriority, nil
+	case "nf-rsfq":
+		return xqsim.NearFutureRSFQ(d, false), xqsim.SchemePriority, nil
+	case "nf-rsfq-opt":
+		return xqsim.NearFutureRSFQ(d, true), xqsim.SchemePriority, nil
+	case "nf-cmos":
+		return xqsim.NearFutureCMOS4K(d, false), xqsim.SchemePriority, nil
+	case "nf-cmos-vs":
+		return xqsim.NearFutureCMOS4K(d, true), xqsim.SchemePriority, nil
+	case "future":
+		return xqsim.FutureSystem(d, false, false), xqsim.SchemePriority, nil
+	case "future-edu4k":
+		return xqsim.FutureSystem(d, true, false), xqsim.SchemePriority, nil
+	case "future-final":
+		return xqsim.FutureSystem(d, true, true), xqsim.SchemePatchSliding, nil
+	}
+	return nil, 0, fmt.Errorf("unknown system %q", name)
+}

@@ -1,0 +1,125 @@
+// Command xqsweep regenerates the paper's evaluation tables and figures,
+// printing measured-vs-paper anchors and optionally dumping the sweep
+// series as CSV.
+//
+// Usage:
+//
+//	xqsweep -all
+//	xqsweep -fig 14
+//	xqsweep -table 3 -shots 2048
+//	xqsweep -fig 19 -csv fig19.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xqsim"
+)
+
+func main() {
+	var (
+		fig         = flag.String("fig", "", "figure to regenerate: 5, 10, 12, 14, 16, 17, 18, 19")
+		sensitivity = flag.Bool("sensitivity", false, "run the Section-6.2 parameter sensitivity study")
+		threshold   = flag.Bool("threshold", false, "run the surface-code memory threshold study")
+		table       = flag.String("table", "", "table to regenerate: 3, 4")
+		all         = flag.Bool("all", false, "regenerate everything")
+		shots       = flag.Int("shots", 512, "shots for the Table-3 functional validation")
+		seed        = flag.Int64("seed", 1, "random seed")
+		csv         = flag.String("csv", "", "write the sweep series to this CSV file")
+		md          = flag.String("md", "", "write a Markdown reproduction report to this file")
+	)
+	flag.Parse()
+
+	var results []xqsim.ExperimentResult
+	run := func(id string) {
+		switch id {
+		case "5":
+			results = append(results, xqsim.Fig5(*seed))
+		case "10":
+			results = append(results, xqsim.Fig10())
+		case "12":
+			results = append(results, xqsim.Fig12())
+		case "14":
+			results = append(results, xqsim.Fig14(*seed))
+		case "16":
+			results = append(results, xqsim.Fig16(*seed))
+		case "17":
+			results = append(results, xqsim.Fig17(*seed))
+		case "18":
+			results = append(results, xqsim.Fig18())
+		case "19":
+			results = append(results, xqsim.Fig19(*seed))
+		case "t3":
+			r, err := xqsim.Table3Result(*shots, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "xqsweep:", err)
+				os.Exit(1)
+			}
+			results = append(results, r)
+		case "t4":
+			results = append(results, xqsim.Table4())
+		case "sensitivity":
+			results = append(results, xqsim.Sensitivity(*seed))
+		case "threshold":
+			results = append(results, xqsim.ThresholdStudy(400, *seed))
+		default:
+			fmt.Fprintf(os.Stderr, "xqsweep: unknown experiment %q\n", id)
+			os.Exit(1)
+		}
+	}
+
+	switch {
+	case *all:
+		for _, id := range []string{"t4", "10", "12", "t3", "5", "14", "16", "17", "18", "19", "sensitivity"} {
+			run(id)
+		}
+	case *sensitivity:
+		run("sensitivity")
+	case *threshold:
+		run("threshold")
+	case *fig != "":
+		run(*fig)
+	case *table != "":
+		run("t" + *table)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, r := range results {
+		fmt.Println(r)
+	}
+
+	if *md != "" && len(results) > 0 {
+		if err := os.WriteFile(*md, []byte(xqsim.MarkdownReport(results)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "xqsweep:", err)
+			os.Exit(1)
+		}
+		worst, where := xqsim.WorstDeviationPct(results)
+		fmt.Fprintf(os.Stderr, "wrote report to %s (worst deviation %.1f%% at %s)\n", *md, worst, where)
+	}
+
+	if *csv != "" && len(results) > 0 {
+		if err := writeCSV(*csv, results); err != nil {
+			fmt.Fprintln(os.Stderr, "xqsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote series to %s\n", *csv)
+	}
+}
+
+func writeCSV(path string, results []xqsim.ExperimentResult) error {
+	var sb strings.Builder
+	sb.WriteString("experiment,series,x,y\n")
+	for _, r := range results {
+		for _, s := range r.Series {
+			for i := range s.X {
+				fmt.Fprintf(&sb, "%s,%s,%g,%g\n", r.ID, s.Name, s.X[i], s.Y[i])
+			}
+		}
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

@@ -1,0 +1,62 @@
+package xqsim_test
+
+import (
+	"fmt"
+
+	"xqsim"
+)
+
+// The headline result: the paper's final control-processor design —
+// ERSFQ PSU/TCU/EDU with all four optimizations — sustains tens of
+// thousands of physical qubits.
+func ExampleSystem_MaxQubits() {
+	rates := xqsim.MeasureRates(15, 0.001, xqsim.SchemePatchSliding, 1)
+	final := xqsim.FutureSystem(15, true, true)
+	n := final.MaxQubits(rates)
+	fmt.Println(n > 50000, n < 60000)
+	// Output: true true
+}
+
+// Scalability reports expose the four metrics and the violated
+// constraints.
+func ExampleSystem_Evaluate() {
+	rates := xqsim.MeasureRates(15, 0.001, xqsim.SchemeRoundRobin, 1)
+	current := xqsim.CurrentSystem(15, false)
+	rep := current.Evaluate(5000, rates)
+	fmt.Println(rep.OK())
+	fmt.Println(rep.Violations())
+	// Output:
+	// false
+	// [error-decoding-latency 300K-4K-transfer instruction-bandwidth]
+}
+
+// Gates lower to Pauli product rotations and compile to the 64-bit QISA.
+func ExampleNewBuilder() {
+	circ := xqsim.NewBuilder("demo", 2).H(0).CX(0, 1).Circuit()
+	res, _ := xqsim.Compile(circ)
+	fmt.Println(len(circ.Rotations), "rotations")
+	fmt.Println(res.Program[0])
+	// Output:
+	// 12 rotations
+	// LQI off=0 targets=0:zero,1:zero
+}
+
+// The assembler round-trips the textual QISA form.
+func ExampleAssemble() {
+	prog, _ := xqsim.Assemble("MERGE_INFO paulis=0:Z,4:Z,5:Z\nRUN_ESM")
+	fmt.Print(xqsim.Disassemble(prog))
+	// Output:
+	// MERGE_INFO off=0 paulis=0:Z,4:Z,5:Z
+	// RUN_ESM
+}
+
+// XQ-estimator answers frequency/power/area questions per unit and
+// technology.
+func ExampleEstimateUnit() {
+	scale := xqsim.ScaleFor(10000, 15)
+	opts := xqsim.DefaultEstimatorOptions(15)
+	rsfq := xqsim.EstimateUnit(xqsim.UnitPSU, scale, xqsim.RSFQ, opts)
+	ersfq := xqsim.EstimateUnit(xqsim.UnitPSU, scale, xqsim.ERSFQ, opts)
+	fmt.Println(rsfq.StaticW > 0, ersfq.StaticW == 0)
+	// Output: true true
+}

@@ -1,0 +1,45 @@
+// Magic state distillation: runs the 15-to-1 protocol — the workload that
+// motivates 10+K-qubit machines in the first place (magic state factories
+// consume most of a fault-tolerant computer's qubits) — through the full
+// control-processor stack, and shows how its self-check passes degrade
+// with the physical error rate and recover with code distance.
+package main
+
+import (
+	"fmt"
+
+	"xqsim"
+)
+
+func main() {
+	circ := xqsim.MSD15To1SelfCheck()
+	fmt.Printf("15-to-1 distillation self-check: %d logical qubits, %d rotations\n",
+		circ.NLQ, len(circ.Rotations))
+	fmt.Println("(perfect rotations read all zeros deterministically; ones flag faults)")
+
+	res, err := xqsim.Compile(circ)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("compiled to %d QISA instructions\n\n", len(res.Program))
+
+	shots := 200
+	fmt.Println("   d    p        pass-rate")
+	for _, cfg := range []struct {
+		d int
+		p float64
+	}{
+		{3, 0}, {3, 0.0005}, {3, 0.001}, {3, 0.002},
+		{5, 0.001},
+	} {
+		dist, _, err := xqsim.RunShots(circ.SubstituteStabilizer(), cfg.d, cfg.p, shots, 7)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %2d  %6.4f     %6.1f%%\n", cfg.d, cfg.p, 100*dist[0])
+	}
+
+	fmt.Println("\nAt d=3 the 31-rotation workload accrues real logical errors at")
+	fmt.Println("p=0.1%; raising the distance restores the deterministic readout —")
+	fmt.Println("the trade the paper's Table 4 fixes at d=15 for the 10+K-qubit study.")
+}

@@ -1,0 +1,3 @@
+module xqsim
+
+go 1.22

@@ -1,0 +1,278 @@
+// Package compiler lowers logical quantum circuits — sequences of Pauli
+// product rotations in the Litinski normal form — into QISA programs for
+// the fault-tolerant control processor.
+//
+// The lowering of one PPR follows the paper's Fig. 4 timeline exactly:
+// LQI of the resource patches, MERGE_INFO for the two parallel PPMs,
+// INIT_INTMD, the merging d-round RUN_ESM, MEAS_INTMD, SPLIT_INFO, the
+// splitting RUN_ESM, then PPM_INTERPRET and the LQM family with the
+// Meas_flag bits that drive the logical measure unit's condition checker.
+//
+// Standalone PPR(pi/2) rotations (bare Pauli gates) are absorbed at
+// compile time into a Pauli frame that sets the invert flag on later
+// interpretations, mirroring how the hardware tracks runtime byproducts.
+package compiler
+
+import (
+	"fmt"
+
+	"xqsim/internal/ftqc"
+	"xqsim/internal/isa"
+	"xqsim/internal/pauli"
+)
+
+// Circuit is a logical program: per-qubit initial states followed by a
+// rotation sequence over NLQ data logical qubits.
+type Circuit struct {
+	NLQ int
+	// Init holds the initial state of each data qubit; a nil slice means
+	// all |0>. MarkNone entries default to |0>.
+	Init []isa.LQMark
+	// Rotations act on the NLQ data qubits (product length == NLQ).
+	Rotations []ftqc.Rotation
+	// Name labels the workload in reports.
+	Name string
+}
+
+// Validate checks structural consistency.
+func (c Circuit) Validate() error {
+	if c.NLQ < 1 {
+		return fmt.Errorf("compiler: circuit needs at least one qubit")
+	}
+	if c.NLQ+2 > isa.MaxLogicalQubits {
+		return fmt.Errorf("compiler: %d logical qubits exceed the ISA limit", c.NLQ)
+	}
+	if c.Init != nil && len(c.Init) != c.NLQ {
+		return fmt.Errorf("compiler: init list length %d != %d qubits", len(c.Init), c.NLQ)
+	}
+	for i, r := range c.Rotations {
+		if r.P.Len() != c.NLQ {
+			return fmt.Errorf("compiler: rotation %d acts on %d qubits, want %d", i, r.P.Len(), c.NLQ)
+		}
+		if r.Angle != ftqc.AnglePi8 && r.Angle != ftqc.AnglePi4 && r.Angle != ftqc.AnglePi2 {
+			return fmt.Errorf("compiler: rotation %d has unsupported angle", i)
+		}
+		if r.P.IsIdentity() && r.Angle != ftqc.AnglePi2 {
+			return fmt.Errorf("compiler: rotation %d is an identity rotation", i)
+		}
+	}
+	return nil
+}
+
+// Extend widens a product over the data qubits to the machine width
+// (data + ancilla + magic).
+func Extend(p pauli.Product, machineWidth int) pauli.Product {
+	out := pauli.NewProduct(machineWidth)
+	copy(out.Ops, p.Ops)
+	return out
+}
+
+// SubstituteStabilizer returns a copy of the circuit with every pi/8
+// rotation replaced by a pi/4 rotation. This is the documented
+// stabilizer substitution used when validating the physical-level
+// pipeline against the exact logical reference: both sides of the
+// comparison run the substituted circuit, so the total variation distance
+// still measures control-processor correctness.
+func (c Circuit) SubstituteStabilizer() Circuit {
+	out := c
+	out.Rotations = make([]ftqc.Rotation, len(c.Rotations))
+	copy(out.Rotations, c.Rotations)
+	for i := range out.Rotations {
+		if out.Rotations[i].Angle == ftqc.AnglePi8 {
+			out.Rotations[i].Angle = ftqc.AnglePi4
+		}
+	}
+	out.Name = c.Name + "+stab"
+	return out
+}
+
+// Result carries the compiled program and its register map.
+type Result struct {
+	Program isa.Program
+	// FinalMreg[q] is the measurement register holding data qubit q's
+	// final Z readout.
+	FinalMreg []int
+	// AncillaLQ and MagicLQ are the machine indices of the per-rotation
+	// resource qubits (NLQ and NLQ+1).
+	AncillaLQ int
+	MagicLQ   int
+	// Rotations counts the physically executed (non-pi/2) rotations.
+	Rotations int
+}
+
+const protocolRegsPerPPR = 4
+
+// Compile lowers the circuit to a QISA program.
+func Compile(c Circuit) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := c.NLQ + 2
+	ancilla, magic := c.NLQ, c.NLQ+1
+	var prog isa.Program
+
+	// Initialize the data qubits.
+	prog = append(prog, lqiInstrs(dataInits(c))...)
+	prog = append(prog, isa.Instr{Op: isa.RunESM})
+
+	// Compile-time Pauli frame for absorbed pi/2 rotations.
+	frame := pauli.NewProduct(n)
+
+	nextMreg := c.NLQ // final readouts occupy 0..NLQ-1
+	allocMreg := func() uint16 {
+		m := nextMreg
+		nextMreg++
+		if nextMreg >= 1<<13 {
+			nextMreg = c.NLQ
+		}
+		return uint16(m)
+	}
+
+	executed := 0
+	for _, rot := range c.Rotations {
+		if rot.Angle == ftqc.AnglePi2 {
+			frame.Mul(Extend(rot.P, n))
+			continue
+		}
+		executed++
+		angleFlag := isa.MeasFlag(0)
+		if rot.Angle == ftqc.AnglePi4 {
+			angleFlag = isa.FlagAnglePi4
+		}
+
+		// The two PPM products.
+		q1 := Extend(rot.P, n)
+		q1.Ops[magic] = pauli.Z
+		q2 := pauli.NewProduct(n)
+		q2.Ops[ancilla] = pauli.Y
+		q2.Ops[magic] = pauli.Z
+
+		// (1) Resource patch initialization.
+		init := make([]isa.LQMark, n)
+		init[ancilla] = isa.MarkZero
+		init[magic] = isa.MarkMagic
+		for _, in := range lqiInstrs(init) {
+			in.Flags |= angleFlag
+			prog = append(prog, in)
+		}
+
+		// (2) Merge bookkeeping for both PPMs, then the merged ESM.
+		prog = append(prog, pauliInstrs(isa.MergeInfo, q1, 0, angleFlag)...)
+		prog = append(prog, pauliInstrs(isa.MergeInfo, q2, 0, angleFlag)...)
+		prog = append(prog,
+			isa.Instr{Op: isa.InitIntmd, Flags: angleFlag},
+			isa.Instr{Op: isa.RunESM, Flags: angleFlag},
+			isa.Instr{Op: isa.MeasIntmd, Flags: angleFlag},
+			isa.Instr{Op: isa.SplitInfo, Flags: angleFlag},
+			isa.Instr{Op: isa.RunESM, Flags: angleFlag},
+		)
+
+		// (3) Interpretation of the two PPMs (results a and b).
+		aFlags := isa.FlagCondStore | angleFlag
+		if rot.Neg != !frame.Commutes(q1) {
+			aFlags |= isa.FlagInvert
+		}
+		prog = append(prog, pauliInstrs(isa.PPMInterpret, q1, allocMreg(), aFlags)...)
+		prog = append(prog, pauliInstrs(isa.PPMInterpret, q2, allocMreg(), isa.FlagCondStore|angleFlag)...)
+
+		// (4) LQM_X on the magic patch (result c), then the feedback
+		// measurement on the ancilla (result d) which triggers the
+		// byproduct check.
+		prog = append(prog, lqmInstr(isa.LQMX, magic, allocMreg(),
+			isa.FlagCondStore|isa.FlagDiscard|angleFlag))
+		prog = append(prog, lqmInstr(isa.LQMFM, ancilla, allocMreg(),
+			isa.FlagCondStore|isa.FlagBPCheck|isa.FlagDiscard|angleFlag))
+	}
+
+	// Final Z readout of every data qubit.
+	finals := make([]int, c.NLQ)
+	for q := 0; q < c.NLQ; q++ {
+		flags := isa.MeasFlag(0)
+		if frame.Ops[q].XBit() {
+			flags |= isa.FlagInvert
+		}
+		prog = append(prog, lqmInstr(isa.LQMZ, q, uint16(q), flags))
+		finals[q] = q
+	}
+
+	return &Result{
+		Program:   prog,
+		FinalMreg: finals,
+		AncillaLQ: ancilla,
+		MagicLQ:   magic,
+		Rotations: executed,
+	}, nil
+}
+
+// dataInits expands the circuit's initial-state list to explicit markers.
+func dataInits(c Circuit) []isa.LQMark {
+	init := make([]isa.LQMark, c.NLQ)
+	for q := range init {
+		init[q] = isa.MarkZero
+		if c.Init != nil && c.Init[q] != isa.MarkNone {
+			init[q] = c.Init[q]
+		}
+	}
+	return init
+}
+
+// lqiInstrs emits LQI instructions covering all non-none markers, one per
+// 16-qubit window.
+func lqiInstrs(marks []isa.LQMark) []isa.Instr {
+	var out []isa.Instr
+	for off := 0; off*isa.QubitsPerInstr < len(marks); off++ {
+		var in isa.Instr
+		in.Op = isa.LQI
+		in.Offset = uint16(off)
+		used := false
+		for k := 0; k < isa.QubitsPerInstr; k++ {
+			q := off*isa.QubitsPerInstr + k
+			if q >= len(marks) || marks[q] == isa.MarkNone {
+				continue
+			}
+			in.SetMarkAt(k, marks[q])
+			used = true
+		}
+		if used {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// pauliInstrs emits instructions carrying a Pauli product, one per
+// 16-qubit window with non-identity entries; all share mreg and flags.
+func pauliInstrs(op isa.Opcode, p pauli.Product, mreg uint16, flags isa.MeasFlag) []isa.Instr {
+	var out []isa.Instr
+	for off := 0; off*isa.QubitsPerInstr < p.Len(); off++ {
+		var in isa.Instr
+		in.Op = op
+		in.Offset = uint16(off)
+		in.MregDst = mreg
+		in.Flags = flags
+		used := false
+		for k := 0; k < isa.QubitsPerInstr; k++ {
+			q := off*isa.QubitsPerInstr + k
+			if q >= p.Len() || p.Ops[q] == pauli.I {
+				continue
+			}
+			in.SetPauliAt(k, p.Ops[q])
+			used = true
+		}
+		if used {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// lqmInstr emits a single-qubit logical measurement.
+func lqmInstr(op isa.Opcode, q int, mreg uint16, flags isa.MeasFlag) isa.Instr {
+	var in isa.Instr
+	in.Op = op
+	in.Offset = uint16(q / isa.QubitsPerInstr)
+	in.MregDst = mreg
+	in.Flags = flags
+	in.SetMarkAt(q%isa.QubitsPerInstr, isa.MarkZero)
+	return in
+}

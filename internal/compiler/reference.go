@@ -1,0 +1,79 @@
+package compiler
+
+import (
+	"xqsim/internal/ftqc"
+	"xqsim/internal/isa"
+	"xqsim/internal/pauli"
+	"xqsim/internal/statevec"
+)
+
+// ReferenceDistribution computes the exact final Z-basis distribution of a
+// circuit at the logical level, applying every rotation as a unitary on
+// the dense simulator. This is the paper's "Qiskit without any errors"
+// side of the Table-3 comparison. Index bit q of the result corresponds
+// to data qubit q.
+func ReferenceDistribution(c Circuit) []float64 {
+	s := statevec.New(c.NLQ, 1)
+	for q, m := range dataInits(c) {
+		switch m {
+		case isa.MarkPlus:
+			s.H(q)
+		case isa.MarkMagic:
+			s.PrepareResource(q, ftqc.AnglePi8.ResourceTheta())
+		}
+	}
+	for _, rot := range c.Rotations {
+		s.ApplyPPR(rot.Theta(), rot.P)
+	}
+	qs := make([]int, c.NLQ)
+	for q := range qs {
+		qs[q] = q
+	}
+	return s.MarginalDistribution(qs)
+}
+
+// ProtocolSample executes the circuit once through the lattice-surgery
+// protocol on the dense logical machine, returning the byproduct-corrected
+// final readout bits packed into an integer. It exercises exactly the
+// classical rules the hardware LMU implements and serves as the
+// logical-level oracle for the full pipeline.
+func ProtocolSample(c Circuit, seed int64) int {
+	n := c.NLQ + 2
+	m := ftqc.NewSVMachine(n, seed)
+	for q, mark := range dataInits(c) {
+		switch mark {
+		case isa.MarkPlus:
+			m.S.H(q)
+		case isa.MarkMagic:
+			m.S.PrepareResource(q, ftqc.AnglePi8.ResourceTheta())
+		}
+	}
+	tr := ftqc.NewTracker(n)
+	for _, rot := range c.Rotations {
+		ext := ftqc.Rotation{P: Extend(rot.P, n), Angle: rot.Angle, Neg: rot.Neg}
+		ftqc.ExecutePPR(m, tr, ext, c.NLQ, c.NLQ+1)
+	}
+	key := 0
+	for q := 0; q < c.NLQ; q++ {
+		pr := pauli.NewProduct(n)
+		pr.Ops[q] = pauli.Z
+		raw := m.MeasureProduct(pr)
+		if ftqc.InterpretFinalZ(tr, q, raw) {
+			key |= 1 << uint(q)
+		}
+	}
+	return key
+}
+
+// SampledDistribution draws shots through ProtocolSample and returns the
+// empirical distribution over final readouts.
+func SampledDistribution(c Circuit, shots int, seed int64) []float64 {
+	out := make([]float64, 1<<uint(c.NLQ))
+	for s := 0; s < shots; s++ {
+		out[ProtocolSample(c, seed+int64(s)*7919)]++
+	}
+	for i := range out {
+		out[i] /= float64(shots)
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+LQI off=0 targets=0:zero,1:zero
+RUN_ESM
+LQI off=0 targets=2:zero,3:magic
+MERGE_INFO off=0 paulis=0:Z,1:Z,3:Z
+MERGE_INFO off=0 paulis=2:Y,3:Z
+INIT_INTMD
+RUN_ESM
+MEAS_INTMD
+SPLIT_INFO
+RUN_ESM
+PPM_INTERPRET off=0 mreg=2 flags=0x01 paulis=0:Z,1:Z,3:Z
+PPM_INTERPRET off=0 mreg=3 flags=0x01 paulis=2:Y,3:Z
+LQM_X off=0 mreg=4 flags=0x09 targets=3:zero
+LQM_FM off=0 mreg=5 flags=0x0b targets=2:zero
+LQM_Z off=0 targets=0:zero
+LQM_Z off=0 mreg=1 targets=1:zero

@@ -1,0 +1,97 @@
+// Package config centralizes the scalability-analysis constants of the
+// paper's Table 4 and the calibration constants that anchor the model to
+// the paper's reported numbers. Every magic number in the simulator comes
+// from here and is documented with its source.
+package config
+
+// Error decoder parameters (Table 4).
+const (
+	// PhysErrorRate is the physical error rate (0.10%, [20]).
+	PhysErrorRate = 0.001
+	// CodeDistance is the scalability-analysis code distance (15, [20]).
+	CodeDistance = 15
+)
+
+// Physical quantum gate latencies in nanoseconds (Table 4, [9]).
+const (
+	T1QNs   = 14.0  // single-qubit gate
+	T2QNs   = 26.0  // two-qubit gate
+	TMeasNs = 600.0 // measurement
+)
+
+// Refrigeration and wiring (Table 4).
+const (
+	// Power4KBudgetW is the 4 K cooling budget (1.5 W, [39]).
+	Power4KBudgetW = 1.5
+	// Area4KBudgetCm2 is the 4 K area budget (620 cm^2, [6, 39]).
+	Area4KBudgetCm2 = 620.0
+	// CableGbps is one digital coaxial cable's bandwidth (10 Gbps, [21]).
+	CableGbps = 10.0
+	// CableHeatW is the heat one cable dissipates into the 4 K stage
+	// (31 mW, [21]).
+	CableHeatW = 0.031
+)
+
+// Clock frequencies of the control processors in GHz (Table 4).
+const (
+	Freq300KCMOSGHz = 1.5
+	Freq4KCMOSGHz   = 1.5
+	FreqRSFQGHz     = 21.0
+	FreqERSFQGHz    = 21.0
+)
+
+// ESM timing. One error-syndrome-measurement round is two single-qubit
+// gate layers, four two-qubit gate layers, and one measurement layer
+// (Fig. 2), for 2*14 + 4*26 + 600 = 732 ns.
+const ESMStepsPerRound = 8 // reset, H, 4x CZ, H, measure
+
+// ESMRoundNs returns the wall-clock duration of one ESM round.
+func ESMRoundNs() float64 { return 2*T1QNs + 4*T2QNs + TMeasNs }
+
+// Decode-latency constraint: the window decode must complete within one
+// ESM round plus the readout transfer slack, or syndrome back-pressure
+// stalls the ESM schedule. Slack calibrated to the paper's 1,010 ns
+// red line (Fig. 5b): 732 + 278.
+const DecodeSlackNs = 278.0
+
+// DecodeBudgetNs returns the decode-latency constraint.
+func DecodeBudgetNs() float64 { return ESMRoundNs() + DecodeSlackNs }
+
+// CodewordBits is the per-physical-qubit codeword width streamed from the
+// time control unit to the QC interface each schedule step: a 16-bit
+// pulse-select word plus 10 bits of timing/addressing overhead.
+// Calibrated so the 300K-4K transfer of the current system crosses the
+// 1.5 W cable budget near the paper's 1,700-qubit limit (Fig. 14):
+// 26 bits * 8 steps / 732 ns = 284 Mbps per qubit.
+const CodewordBits = 26
+
+// MaxCables is the number of 300K-4K digital cables the 4 K heat budget
+// admits: floor(1.5 W / 31 mW) = 48, i.e. 480 Gbps aggregate — the
+// paper's Fig. 5(a) instruction-bandwidth red line.
+func MaxCables() int {
+	budget := float64(Power4KBudgetW)
+	return int(budget / CableHeatW)
+}
+
+// MaxCrossBandwidthGbps is the aggregate 300K-4K bandwidth limit.
+func MaxCrossBandwidthGbps() float64 { return float64(MaxCables()) * CableGbps }
+
+// PSU defaults.
+const (
+	// DefaultMaskGenerators is the baseline number of PSU mask
+	// generators (each serves a slice of the physical qubits through the
+	// demultiplexer).
+	DefaultMaskGenerators = 64
+	// MaskGenSharingOpt is Optimization #2's sharing factor: one RSFQ
+	// mask generator serves 14x more physical qubits (Fig. 18a).
+	MaskGenSharingOpt = 14
+)
+
+// Success-rate model constants (Section 2.3 methodology, following [45]).
+const (
+	// LogicalErrorA and the threshold enter the standard surface-code
+	// logical error fit p_L = A * (p/p_th)^((d+1)/2) per patch per
+	// d-round window.
+	LogicalErrorA  = 0.1
+	ErrorThreshold = 0.01 // ~1% circuit threshold [15]
+)

@@ -1,0 +1,58 @@
+package config
+
+import (
+	"math"
+	"testing"
+)
+
+func TestESMRound(t *testing.T) {
+	// 2*14 + 4*26 + 600 = 732 ns (Table 4 gate latencies).
+	if got := ESMRoundNs(); got != 732 {
+		t.Fatalf("ESM round = %v ns, want 732", got)
+	}
+}
+
+func TestDecodeBudget(t *testing.T) {
+	// The paper's Fig. 5(b) red line: 1,010 ns.
+	if got := DecodeBudgetNs(); math.Abs(got-1010) > 1e-9 {
+		t.Fatalf("decode budget = %v ns, want 1010", got)
+	}
+}
+
+func TestCableBudget(t *testing.T) {
+	// floor(1.5 / 0.031) = 48 cables -> 480 Gbps, the Fig. 5(a) red line.
+	if got := MaxCables(); got != 48 {
+		t.Fatalf("cables = %d, want 48", got)
+	}
+	if got := MaxCrossBandwidthGbps(); got != 480 {
+		t.Fatalf("cross bandwidth = %v, want 480", got)
+	}
+}
+
+func TestCodewordStreamCalibration(t *testing.T) {
+	// The codeword stream density must place the transfer crossover near
+	// the paper's 1,700 qubits: 480e9 * 732e-9 / (26*8) qubits.
+	perQubitRound := float64(CodewordBits * ESMStepsPerRound)
+	crossover := MaxCrossBandwidthGbps() * ESMRoundNs() / perQubitRound
+	if crossover < 1500 || crossover > 1900 {
+		t.Fatalf("transfer crossover = %.0f qubits, want ~1700", crossover)
+	}
+}
+
+func TestTable4Constants(t *testing.T) {
+	if PhysErrorRate != 0.001 || CodeDistance != 15 {
+		t.Error("decoder parameters drifted from Table 4")
+	}
+	if T1QNs != 14 || T2QNs != 26 || TMeasNs != 600 {
+		t.Error("gate latencies drifted from Table 4")
+	}
+	if Power4KBudgetW != 1.5 || Area4KBudgetCm2 != 620 {
+		t.Error("refrigeration budgets drifted from Table 4")
+	}
+	if Freq300KCMOSGHz != 1.5 || FreqRSFQGHz != 21.0 {
+		t.Error("clock frequencies drifted from Table 4")
+	}
+	if MaskGenSharingOpt != 14 {
+		t.Error("Optimization #2 sharing factor drifted")
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"xqsim/internal/compiler"
+	"xqsim/internal/config"
+	"xqsim/internal/decoder"
+	"xqsim/internal/estimator"
+	"xqsim/internal/microarch"
+	"xqsim/internal/pauli"
+	"xqsim/internal/statevec"
+	"xqsim/internal/surface"
+)
+
+func workloadCircuit(nLQ, pprs int, seed int64) compiler.Circuit {
+	return compiler.RandomPPR(nLQ, pprs, seed).SubstituteStabilizer()
+}
+
+func compileCircuit(c compiler.Circuit) (*compiler.Result, error) { return compiler.Compile(c) }
+
+func newLayout(nLQ, d int) *surface.PPRLayout { return surface.NewPPRLayout(nLQ, d) }
+
+// PipelineConfig builds the standard microarchitecture configuration from
+// Table 4 constants.
+func PipelineConfig(d int, physError float64, scheme decoder.Scheme, functional bool, seed int64) microarch.Config {
+	return microarch.Config{
+		D:              d,
+		PhysError:      physError,
+		Seed:           seed,
+		Functional:     functional,
+		Scheme:         scheme,
+		MaskGenerators: config.DefaultMaskGenerators,
+		MaskSharing:    1,
+		CwdBits:        config.CodewordBits,
+		StepsPerRound:  config.ESMStepsPerRound,
+		T1QNs:          config.T1QNs,
+		T2QNs:          config.T2QNs,
+		TMeasNs:        config.TMeasNs,
+	}
+}
+
+// RunShots executes a circuit through the full stack (compiler -> QISA ->
+// microarchitecture -> noisy surface-code backend) for the given number of
+// shots and returns the empirical distribution over final logical
+// readouts plus the final shot's metrics. Circuits containing pi/8
+// rotations must be passed through SubstituteStabilizer first.
+//
+// Shots run across GOMAXPROCS workers; per-shot seeds are derived
+// deterministically from the base seed, so the distribution is
+// reproducible regardless of scheduling.
+func RunShots(circ compiler.Circuit, d int, physError float64, shots int, seed int64) ([]float64, *microarch.Metrics, error) {
+	res, err := compiler.Compile(circ)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > shots {
+		workers = shots
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type shotResult struct {
+		key  int
+		m    *microarch.Metrics
+		shot int
+		err  error
+	}
+	jobs := make(chan int)
+	results := make(chan shotResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				cfg := PipelineConfig(d, physError, decoder.SchemePriority, true, seed+int64(s)*104729)
+				pl := microarch.NewPipeline(surface.NewPPRLayout(circ.NLQ, d), cfg)
+				if err := pl.Run(res.Program); err != nil {
+					results <- shotResult{err: err}
+					continue
+				}
+				key := 0
+				for q, mreg := range res.FinalMreg {
+					if pl.M.MregFile[uint16(mreg)] {
+						key |= 1 << uint(q)
+					}
+				}
+				results <- shotResult{key: key, m: &pl.M, shot: s}
+			}
+		}()
+	}
+	go func() {
+		for s := 0; s < shots; s++ {
+			jobs <- s
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	counts := make([]float64, 1<<uint(circ.NLQ))
+	var last *microarch.Metrics
+	lastShot := -1
+	var firstErr error
+	for r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		counts[r.key]++
+		if r.shot > lastShot {
+			lastShot, last = r.shot, r.m
+		}
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	for i := range counts {
+		counts[i] /= float64(shots)
+	}
+	return counts, last, nil
+}
+
+// ValidateCircuit computes the Table-3 total variation distance between
+// the noisy physical-level sampling and the exact logical reference for a
+// benchmark circuit.
+func ValidateCircuit(circ compiler.Circuit, d int, physError float64, shots int, seed int64) (dtv float64, phys []float64, ref []float64, err error) {
+	if err := circ.Validate(); err != nil {
+		return 0, nil, nil, err
+	}
+	sub := circ.SubstituteStabilizer()
+	ref = compiler.ReferenceDistribution(sub)
+	phys, _, err = RunShots(sub, d, physError, shots, seed)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return statevec.TotalVariation(ref, phys), phys, ref, nil
+}
+
+// SuccessRate models the application-level success probability of running
+// a workload at a given scale under the system's constraint pressure
+// (the paper's Fig. 5 methodology, following Litinski's accounting):
+// every active patch accrues a logical error chance per d-round window,
+// and violated constraints inflate the effective physical error rate by
+// the induced idle time.
+//
+// windows is the workload's total ESM-window count (e.g. 3 per PPR: init,
+// merge, split).
+func (s *System) SuccessRate(nPhys, windows int, r Rates) float64 {
+	rep := s.Evaluate(nPhys, r)
+	b := s.budget()
+	stall := 1.0
+	if rep.DecodeLatencyNs > b.DecodeBudgetNs {
+		stall += rep.DecodeLatencyNs / b.DecodeBudgetNs
+	}
+	if !rep.BWOK {
+		stall += rep.CrossTransferGbps / b.MaxCrossGbps()
+	}
+	if !rep.TransferOK {
+		stall += rep.CrossHeatW / b.Power4KW
+	}
+	pEff := b.PhysErrorRate * stall
+	if pEff > 0.5 {
+		pEff = 0.5
+	}
+	// Standard surface-code logical-error fit per patch per window.
+	pl := config.LogicalErrorA * math.Pow(pEff/config.ErrorThreshold, float64(s.D+1)/2)
+	if pl > 1 {
+		pl = 1
+	}
+	patches := float64(estimator.ScaleFor(nPhys, s.D).NPatches)
+	return math.Exp(-pl * patches * float64(windows))
+}
+
+// RunScalingWorkload executes a reference random-PPR workload through the
+// pipeline in scaling mode (no tableau) and returns the metrics — the
+// traffic and activity breakdowns behind Fig. 16.
+func RunScalingWorkload(d int, physError float64, scheme decoder.Scheme, seed int64) *microarch.Metrics {
+	circ := workloadCircuit(4, 6, seed)
+	res, err := compiler.Compile(circ)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	cfg := PipelineConfig(d, physError, scheme, false, seed)
+	pl := microarch.NewPipeline(newLayout(circ.NLQ, d), cfg)
+	if err := pl.Run(res.Program); err != nil {
+		panic("core: " + err.Error())
+	}
+	return &pl.M
+}
+
+// LogicalErrorRate measures the per-window logical X-error rate of a
+// single-patch quantum memory at distance d and physical error rate p, by
+// direct simulation of the backend: prepare |0_L>, run `windows` decode
+// windows, and count readout flips. This is the standard threshold
+// experiment; internal/sweep.ThresholdStudy sweeps it across distances.
+func LogicalErrorRate(d int, p float64, windows, trials int, seed int64) float64 {
+	fails := 0
+	for t := 0; t < trials; t++ {
+		layout := surface.NewPPRLayout(1, d)
+		b := microarch.NewBackend(layout, p, seed+int64(t)*6151, true)
+		b.PrepareZero(0)
+		for w := 0; w < windows; w++ {
+			for r := 0; r < d; r++ {
+				b.InjectRoundNoise()
+				b.MeasureSyndromesRound(r == d-1)
+			}
+			b.FinishWindow()
+		}
+		pr := pauli.NewProduct(b.NumLQ())
+		pr.Ops[0] = pauli.Z
+		if b.MeasureProduct(pr) {
+			fails++
+		}
+	}
+	return float64(fails) / float64(trials)
+}

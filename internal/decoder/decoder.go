@@ -1,0 +1,487 @@
+// Package decoder implements the error decode unit's matching algorithm:
+// the spike/token nearest-pair decoder of QECOOL [69] extended for lattice
+// surgery, in the three token-setup variants studied in the paper:
+//
+//   - SchemeRoundRobin: the baseline, which shifts the token one ancilla
+//     cell per cycle while scanning for non-trivial syndromes (Fig. 15a);
+//   - SchemePriority: Optimization #1, a priority encoder that allocates
+//     the token directly to the next non-trivial cell (Fig. 15b);
+//   - SchemePatchSliding: Optimization #4, which decodes through a
+//     constant-size sliding window of EDU cells (Fig. 20), producing the
+//     same matching with far fewer powered cells.
+//
+// The matching itself is identical across schemes (the paper's
+// optimizations change latency and power, not the decode result); this
+// package computes matches, correction paths, and per-scheme cycle
+// accounting inputs. Decoding is per basis type: Z-type plaquettes detect
+// X errors, whose chains terminate on the X-boundaries (left/right in the
+// canonical orientation), and symmetrically for X-type plaquettes.
+package decoder
+
+import (
+	"sort"
+
+	"xqsim/internal/pauli"
+	"xqsim/internal/surface"
+)
+
+// Scheme selects the token-setup microarchitecture.
+type Scheme int
+
+// Token-setup schemes.
+const (
+	SchemeRoundRobin Scheme = iota
+	SchemePriority
+	SchemePatchSliding
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeRoundRobin:
+		return "round-robin"
+	case SchemePriority:
+		return "priority"
+	case SchemePatchSliding:
+		return "patch-sliding"
+	}
+	return "?"
+}
+
+// Match records one decoded pairing.
+type Match struct {
+	From surface.Coord // token cell (plaquette coordinates)
+	To   surface.Coord // matched cell; meaningless if ToBoundary
+	// ToBoundary marks a chain terminated on an open boundary.
+	ToBoundary bool
+	// Steps is the chain length in data-qubit flips.
+	Steps int
+}
+
+// Result is the outcome of decoding one patch window for one basis.
+type Result struct {
+	// Flips lists the data qubits (patch-local coordinates) whose errors
+	// the decoder identified. For Z-type decoding these are X errors.
+	Flips []surface.Coord
+	// Matches lists the pairings in token allocation order.
+	Matches []Match
+}
+
+// plaquetteDist is the minimum number of diagonal chain steps between two
+// same-type plaquettes (Chebyshev distance; coordinates of equal-type
+// plaquettes always have component differences of equal parity).
+func plaquetteDist(a, b surface.Coord) int {
+	dr, dc := a.Row-b.Row, a.Col-b.Col
+	if dr < 0 {
+		dr = -dr
+	}
+	if dc < 0 {
+		dc = -dc
+	}
+	if dr > dc {
+		return dr
+	}
+	return dc
+}
+
+// boundaryDist is the chain length from a plaquette to its nearest open
+// boundary: left/right for Z-type plaquettes, top/bottom for X-type.
+func boundaryDist(c surface.Code, basis pauli.Pauli, p surface.Coord) int {
+	if basis == pauli.Z {
+		if p.Col <= c.D-p.Col {
+			return p.Col
+		}
+		return c.D - p.Col
+	}
+	if p.Row <= c.D-p.Row {
+		return p.Row
+	}
+	return c.D - p.Row
+}
+
+// boundaryPath returns the data qubits of the straight chain from
+// plaquette p to its nearest open boundary.
+func boundaryPath(c surface.Code, basis pauli.Pauli, p surface.Coord) []surface.Coord {
+	var out []surface.Coord
+	if basis == pauli.Z {
+		row := p.Row
+		if row > c.D-1 {
+			row = c.D - 1
+		}
+		if p.Col <= c.D-p.Col {
+			for col := 0; col < p.Col; col++ {
+				out = append(out, surface.Coord{Row: row, Col: col})
+			}
+		} else {
+			for col := p.Col; col < c.D; col++ {
+				out = append(out, surface.Coord{Row: row, Col: col})
+			}
+		}
+		return out
+	}
+	col := p.Col
+	if col > c.D-1 {
+		col = c.D - 1
+	}
+	if p.Row <= c.D-p.Row {
+		for row := 0; row < p.Row; row++ {
+			out = append(out, surface.Coord{Row: row, Col: col})
+		}
+	} else {
+		for row := p.Row; row < c.D; row++ {
+			out = append(out, surface.Coord{Row: row, Col: col})
+		}
+	}
+	return out
+}
+
+// pairPath walks diagonally from plaquette a to plaquette b, returning the
+// data qubit crossed at each step. When one coordinate difference is
+// exhausted the walk zigzags, alternating direction while staying inside
+// the patch.
+func pairPath(c surface.Code, a, b surface.Coord) []surface.Coord {
+	var out []surface.Coord
+	r, col := a.Row, a.Col
+	zig := 1
+	for r != b.Row || col != b.Col {
+		dr := sign(b.Row - r)
+		if dr == 0 {
+			dr = zig
+			if r+dr < 0 || r+dr > c.D {
+				dr = -dr
+			}
+			zig = -dr
+		}
+		dc := sign(b.Col - col)
+		if dc == 0 {
+			dc = zig
+			if col+dc < 0 || col+dc > c.D {
+				dc = -dc
+			}
+			zig = -dc
+		}
+		// Step (dr, dc) crosses the data qubit at the shared corner.
+		cross := surface.Coord{Row: r + (dr-1)/2, Col: col + (dc-1)/2}
+		out = append(out, cross)
+		r += dr
+		col += dc
+	}
+	return out
+}
+
+func sign(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}
+
+// DecodePatch computes the minimum-weight matching of the non-trivial
+// plaquettes of one basis over one patch window: every syndrome pairs with
+// another syndrome or terminates on an open boundary, minimizing the total
+// chain length. This is the matching the racing spikes of the cell array
+// converge to (the earliest spike to arrive wins); the per-scheme token
+// setup changes only the cycle cost, computed separately by SchemeCycles.
+//
+// Syndromes are first split into independent clusters (two syndromes can
+// only be profitably paired when their distance is below the sum of their
+// boundary distances); each cluster is solved exactly by bitmask dynamic
+// programming, with a nearest-pair greedy fallback for clusters too large
+// for the exact solver (which do not occur at the paper's error rates).
+func DecodePatch(c surface.Code, basis pauli.Pauli, syndrome map[surface.Coord]bool) Result {
+	// Deterministic order: row-major over non-trivial plaquettes,
+	// matching the hardware's cell scan order.
+	cells := make([]surface.Coord, 0, len(syndrome))
+	for p, on := range syndrome {
+		if on {
+			cells = append(cells, p)
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Row != cells[j].Row {
+			return cells[i].Row < cells[j].Row
+		}
+		return cells[i].Col < cells[j].Col
+	})
+
+	var res Result
+	for _, cluster := range clusterSyndromes(c, basis, cells) {
+		decodeCluster(c, basis, cluster, &res)
+	}
+	return res
+}
+
+// clusterSyndromes unions syndromes whose pairing could beat their
+// boundary terminations, returning clusters in scan order.
+func clusterSyndromes(c surface.Code, basis pauli.Pauli, cells []surface.Coord) [][]surface.Coord {
+	n := len(cells)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if plaquetteDist(cells[i], cells[j]) <= boundaryDist(c, basis, cells[i])+boundaryDist(c, basis, cells[j]) {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	groups := make(map[int][]surface.Coord)
+	var order []int
+	for i, p := range cells {
+		r := find(i)
+		if _, seen := groups[r]; !seen {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], p)
+	}
+	out := make([][]surface.Coord, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// maxExactCluster bounds the bitmask DP; larger clusters fall back to
+// greedy nearest-pair matching.
+const maxExactCluster = 20
+
+func decodeCluster(c surface.Code, basis pauli.Pauli, cells []surface.Coord, res *Result) {
+	n := len(cells)
+	if n == 0 {
+		return
+	}
+	if n > maxExactCluster {
+		decodeGreedy(c, basis, cells, res)
+		return
+	}
+	// f[S] = min cost to resolve the syndromes in subset S.
+	f := make([]int, 1<<uint(n))
+	choice := make([]int32, 1<<uint(n)) // partner index, or -1 for boundary
+	for s := 1; s < 1<<uint(n); s++ {
+		i := 0
+		for s&(1<<uint(i)) == 0 {
+			i++
+		}
+		rest := s &^ (1 << uint(i))
+		best := boundaryDist(c, basis, cells[i]) + f[rest]
+		bestJ := int32(-1)
+		for j := i + 1; j < n; j++ {
+			if rest&(1<<uint(j)) == 0 {
+				continue
+			}
+			cost := plaquetteDist(cells[i], cells[j]) + f[rest&^(1<<uint(j))]
+			if cost < best {
+				best, bestJ = cost, int32(j)
+			}
+		}
+		f[s] = best
+		choice[s] = bestJ
+	}
+	// Reconstruct.
+	for s := 1<<uint(n) - 1; s != 0; {
+		i := 0
+		for s&(1<<uint(i)) == 0 {
+			i++
+		}
+		j := choice[s]
+		if j < 0 {
+			res.Matches = append(res.Matches, Match{From: cells[i], ToBoundary: true, Steps: boundaryDist(c, basis, cells[i])})
+			res.Flips = append(res.Flips, boundaryPath(c, basis, cells[i])...)
+			s &^= 1 << uint(i)
+			continue
+		}
+		res.Matches = append(res.Matches, Match{From: cells[i], To: cells[j], Steps: plaquetteDist(cells[i], cells[j])})
+		res.Flips = append(res.Flips, pairPath(c, cells[i], cells[j])...)
+		s &^= 1<<uint(i) | 1<<uint(j)
+	}
+}
+
+// decodeGreedy is the nearest-pair fallback for oversized clusters.
+func decodeGreedy(c surface.Code, basis pauli.Pauli, cells []surface.Coord, res *Result) {
+	open := make(map[surface.Coord]bool, len(cells))
+	for _, p := range cells {
+		open[p] = true
+	}
+	for _, tok := range cells {
+		if !open[tok] {
+			continue
+		}
+		open[tok] = false
+		best := surface.Coord{}
+		bestDist := -1
+		for _, cand := range cells {
+			if !open[cand] {
+				continue
+			}
+			d := plaquetteDist(tok, cand)
+			if bestDist < 0 || d < bestDist {
+				best, bestDist = cand, d
+			}
+		}
+		bd := boundaryDist(c, basis, tok)
+		if bestDist < 0 || bd < bestDist {
+			res.Matches = append(res.Matches, Match{From: tok, ToBoundary: true, Steps: bd})
+			res.Flips = append(res.Flips, boundaryPath(c, basis, tok)...)
+			continue
+		}
+		open[best] = false
+		res.Matches = append(res.Matches, Match{From: tok, To: best, Steps: bestDist})
+		res.Flips = append(res.Flips, pairPath(c, tok, best)...)
+	}
+}
+
+// SyndromeOf computes the non-trivial plaquettes of the given basis for a
+// set of data-qubit errors (patch-local coordinates carrying the opposite
+// Pauli type: X errors for Z-plaquettes). Intended for tests and for the
+// quantum backend's syndrome generation.
+func SyndromeOf(c surface.Code, basis pauli.Pauli, errors []surface.Coord) map[surface.Coord]bool {
+	errSet := make(map[surface.Coord]int, len(errors))
+	for _, e := range errors {
+		errSet[e]++
+	}
+	out := make(map[surface.Coord]bool)
+	for _, st := range c.Stabilizers() {
+		if st.Basis != basis {
+			continue
+		}
+		par := 0
+		for _, q := range st.Data {
+			par += errSet[q]
+		}
+		if par%2 == 1 {
+			out[st.Anc] = true
+		}
+	}
+	return out
+}
+
+// residualLogicalError reports whether error+correction flips the logical
+// operator of the basis type detected by `basis` plaquettes: Z-plaquettes
+// detect X errors, which corrupt logical Z (vertical string on column 0);
+// the parity of flips crossing that string decides a logical error.
+func residualLogicalError(c surface.Code, basis pauli.Pauli, errors, correction []surface.Coord) bool {
+	var logical []surface.Coord
+	if basis == pauli.Z {
+		logical = c.LogicalZ()
+	} else {
+		logical = c.LogicalX()
+	}
+	onLogical := make(map[surface.Coord]bool, len(logical))
+	for _, q := range logical {
+		onLogical[q] = true
+	}
+	par := 0
+	for _, q := range errors {
+		if onLogical[q] {
+			par++
+		}
+	}
+	for _, q := range correction {
+		if onLogical[q] {
+			par++
+		}
+	}
+	return par%2 == 1
+}
+
+// SchemeCycles models the EDU cycle count for one decode window under a
+// token-setup scheme.
+//
+//   - Round-robin pays one cycle per EDU cell scanned while shifting the
+//     token across the whole array (totalCells), plus the spike round trip
+//     per match.
+//   - The priority encoder allocates each token in a single cycle.
+//   - Patch-sliding matches the priority encoder's latency, adding one
+//     pipeline-fill cycle per window slide (the double-buffered global
+//     ESM_srmem hides the reload itself).
+//
+// spikeOverheadCycles covers token grant, state-machine transition, and
+// match removal per token.
+const spikeOverheadCycles = 4
+
+// SchemeCycles returns the modeled cycles. totalCells is the number of
+// cells in the scanned array (all active ancillas of the basis);
+// numWindows is the number of window slides (patch-sliding only).
+func SchemeCycles(s Scheme, matches []Match, totalCells, numWindows int) int {
+	cycles := 0
+	for _, m := range matches {
+		cycles += 2*m.Steps + spikeOverheadCycles
+	}
+	switch s {
+	case SchemeRoundRobin:
+		cycles += totalCells
+	case SchemePriority:
+		cycles += len(matches)
+	case SchemePatchSliding:
+		cycles += len(matches) + numWindows
+	}
+	return cycles
+}
+
+// ResidualLogicalError reports whether error plus correction flips the
+// logical operator threatened by this basis' errors (X errors corrupt
+// logical Z and vice versa). Exposed for the quantum backend's
+// logical-error accounting and for tests.
+func ResidualLogicalError(c surface.Code, basis pauli.Pauli, errors, correction []surface.Coord) bool {
+	return residualLogicalError(c, basis, errors, correction)
+}
+
+// LatticeSyndrome maps patch index -> non-trivial plaquettes of one basis.
+type LatticeSyndrome map[int]map[surface.Coord]bool
+
+// DecodeLattice decodes every patch of a lattice syndrome with the full
+// per-ancilla cell array (the baseline organization: all patches' cells
+// exist simultaneously).
+func DecodeLattice(c surface.Code, basis pauli.Pauli, syn LatticeSyndrome) map[int]Result {
+	out := make(map[int]Result, len(syn))
+	for patch, s := range syn {
+		out[patch] = DecodePatch(c, basis, s)
+	}
+	return out
+}
+
+// DecodeLatticeSliding decodes the same lattice through Optimization #4's
+// sliding window: a constant-size cell array serves `window` patches at a
+// time, sliding across the lattice in patch order (Fig. 20). It returns
+// the per-patch results plus the number of window slides performed.
+//
+// The paper's key insight — non-trivial syndromes pair within the code
+// distance, so matching restricted to the window equals the full-array
+// matching — holds by construction here; TestPatchSlidingEquivalence
+// asserts it.
+func DecodeLatticeSliding(c surface.Code, basis pauli.Pauli, syn LatticeSyndrome, window int) (map[int]Result, int) {
+	if window < 1 {
+		window = 6
+	}
+	patches := make([]int, 0, len(syn))
+	for p := range syn {
+		patches = append(patches, p)
+	}
+	sort.Ints(patches)
+	out := make(map[int]Result, len(syn))
+	slides := 0
+	for start := 0; start < len(patches); start += window {
+		end := start + window
+		if end > len(patches) {
+			end = len(patches)
+		}
+		// One window load decodes its resident patches.
+		for _, p := range patches[start:end] {
+			out[p] = DecodePatch(c, basis, syn[p])
+		}
+		slides++
+	}
+	return out, slides
+}

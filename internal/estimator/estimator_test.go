@@ -1,0 +1,138 @@
+package estimator
+
+import (
+	"testing"
+
+	"xqsim/internal/microarch"
+	"xqsim/internal/synth"
+	"xqsim/internal/tech"
+)
+
+func TestScaleFor(t *testing.T) {
+	s := ScaleFor(1024, 15)
+	if s.NPatches != 2 || s.NData != 512 || s.NAnc != 512 {
+		t.Fatalf("scale = %+v", s)
+	}
+	if ScaleFor(10, 15).NPatches != 1 {
+		t.Fatal("minimum one patch")
+	}
+}
+
+func TestEstimateAllUnitsPositive(t *testing.T) {
+	s := ScaleFor(10000, 15)
+	for _, k := range []tech.Kind{tech.CMOS300K, tech.CMOS4K, tech.RSFQ, tech.ERSFQ} {
+		ests := EstimateAll(s, k, DefaultOptions(15))
+		for u, e := range ests {
+			if e.FreqGHz <= 0 || e.TotalW() <= 0 || e.AreaCm2 <= 0 {
+				t.Errorf("%v/%v: non-positive estimate %+v", k, u, e)
+			}
+		}
+	}
+}
+
+func TestERSFQHasNoStatic(t *testing.T) {
+	s := ScaleFor(10000, 15)
+	for u := microarch.UnitQID; u <= microarch.UnitLMU; u++ {
+		e := EstimateUnit(u, s, tech.ERSFQ, DefaultOptions(15))
+		if e.StaticW != 0 {
+			t.Errorf("%v: ERSFQ static = %v", u, e.StaticW)
+		}
+		r := EstimateUnit(u, s, tech.RSFQ, DefaultOptions(15))
+		if r.StaticW <= 0 {
+			t.Errorf("%v: RSFQ static missing", u)
+		}
+	}
+}
+
+func TestOptimizationsReducePower(t *testing.T) {
+	s := ScaleFor(20000, 15)
+	base := DefaultOptions(15)
+	opt := base
+	opt.PSU = synth.OptimizedPSUOptions()
+	opt.TCU = synth.TCUOptions{SimpleBuffer: true}
+
+	psuB := EstimateUnit(microarch.UnitPSU, s, tech.RSFQ, base)
+	psuO := EstimateUnit(microarch.UnitPSU, s, tech.RSFQ, opt)
+	ratio := psuB.TotalW() / psuO.TotalW()
+	// Paper: 5.5x (Fig 18a).
+	if ratio < 4.0 || ratio > 7.5 {
+		t.Errorf("PSU optimization power ratio = %.2f, want ~5.5", ratio)
+	}
+
+	tcuB := EstimateUnit(microarch.UnitTCU, s, tech.RSFQ, base)
+	tcuO := EstimateUnit(microarch.UnitTCU, s, tech.RSFQ, opt)
+	ratio = tcuB.TotalW() / tcuO.TotalW()
+	// Paper: 4.0x (Fig 18b).
+	if ratio < 3.0 || ratio > 6.5 {
+		t.Errorf("TCU optimization power ratio = %.2f, want ~4.0", ratio)
+	}
+}
+
+func TestPatchSlidingReducesEDUDynamic(t *testing.T) {
+	s := ScaleFor(30000, 15)
+	base := DefaultOptions(15)
+	ps := base
+	ps.EDU.PatchSliding = true
+	b := EstimateUnit(microarch.UnitEDU, s, tech.ERSFQ, base)
+	o := EstimateUnit(microarch.UnitEDU, s, tech.ERSFQ, ps)
+	ratio := b.DynamicW / o.DynamicW
+	// Paper: 18.8x at the evaluation point; the structural model lands in
+	// the same regime (>8x here, growing with scale).
+	if ratio < 6 {
+		t.Errorf("patch-sliding EDU dynamic ratio = %.2f, want >> 1", ratio)
+	}
+}
+
+func TestVoltageScalingOption(t *testing.T) {
+	s := ScaleFor(20000, 15)
+	base := DefaultOptions(15)
+	vs := base
+	vs.VoltageScaling = true
+	b := EstimateUnit(microarch.UnitPSU, s, tech.CMOS4K, base)
+	o := EstimateUnit(microarch.UnitPSU, s, tech.CMOS4K, vs)
+	ratio := b.TotalW() / o.TotalW()
+	if ratio < 13 || ratio > 17 {
+		t.Errorf("voltage scaling ratio = %.2f, want ~15.3", ratio)
+	}
+	// Scaling is a no-op at 300 K.
+	h := EstimateUnit(microarch.UnitPSU, s, tech.CMOS300K, vs)
+	h2 := EstimateUnit(microarch.UnitPSU, s, tech.CMOS300K, base)
+	if h.TotalW() != h2.TotalW() {
+		t.Error("voltage scaling affected 300 K")
+	}
+}
+
+func TestPowerScalesWithQubits(t *testing.T) {
+	small := EstimateUnit(microarch.UnitPSU, ScaleFor(5000, 15), tech.RSFQ, DefaultOptions(15))
+	large := EstimateUnit(microarch.UnitPSU, ScaleFor(50000, 15), tech.RSFQ, DefaultOptions(15))
+	if large.TotalW() < 8*small.TotalW() {
+		t.Errorf("PSU power should scale ~linearly: %v -> %v", small.TotalW(), large.TotalW())
+	}
+}
+
+func TestValidationMITLL(t *testing.T) {
+	rows := ValidateMITLL()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ErrPct() > PaperMaxErrPct["mitll-freq"]+0.5 {
+			t.Errorf("%s freq error %.1f%% exceeds paper envelope (model %.2f vs ref %.2f)",
+				r.Circuit, r.ErrPct(), r.Model, r.Ref)
+		}
+	}
+}
+
+func TestValidationAIST(t *testing.T) {
+	rows := ValidateAIST()
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		limit := PaperMaxErrPct["aist-"+r.Metric]
+		if r.ErrPct() > limit+0.5 {
+			t.Errorf("%s %s error %.1f%% exceeds %.1f%% (model %.4g vs ref %.4g)",
+				r.Circuit, r.Metric, r.ErrPct(), limit, r.Model, r.Ref)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package ftqc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"xqsim/internal/pauli"
+	"xqsim/internal/statevec"
+)
+
+// randomDataPrep applies a random Clifford prep circuit to the data qubits
+// (indices 0..nData-1) of a state.
+func randomDataPrep(s *statevec.State, nData int, r *rand.Rand) {
+	for step := 0; step < 4*nData; step++ {
+		switch r.Intn(3) {
+		case 0:
+			s.H(r.Intn(nData))
+		case 1:
+			s.S(r.Intn(nData))
+		case 2:
+			if nData > 1 {
+				a, b := r.Intn(nData), r.Intn(nData)
+				if a != b {
+					s.CX(a, b)
+				}
+			}
+		}
+	}
+}
+
+// randomRotation draws a non-identity Pauli product over the data qubits
+// of an n-qubit machine (identity on the resource positions).
+func randomRotation(n, nData int, r *rand.Rand, angle Angle) Rotation {
+	p := pauli.NewProduct(n)
+	for {
+		for q := 0; q < nData; q++ {
+			p.Ops[q] = pauli.Pauli(r.Intn(4))
+		}
+		if !p.IsIdentity() {
+			break
+		}
+	}
+	return Rotation{P: p, Angle: angle}
+}
+
+// runAndCompare executes the rotation sequence through the protocol on a
+// machine and directly as unitaries on a reference state, then reports
+// the fidelity between (byproduct-corrected) machine state and reference.
+func runAndCompare(t *testing.T, nData int, rots []Rotation, seed int64) float64 {
+	t.Helper()
+	n := nData + 2
+	ancilla, magic := nData, nData+1
+
+	m := NewSVMachine(n, seed)
+	ref := statevec.New(n, seed+1)
+	r := rand.New(rand.NewSource(seed + 2))
+	// Identical random prep on both.
+	prep := statevec.New(n, seed)
+	randomDataPrep(prep, nData, r)
+	m.S = prep.Clone()
+	ref = prep.Clone()
+
+	tr := NewTracker(n)
+	for _, rot := range rots {
+		ExecutePPR(m, tr, rot, ancilla, magic)
+		ref.ApplyPPR(rot.Theta(), rot.P)
+	}
+	// Reset the resource qubits on both sides so the comparison covers
+	// only the data qubits' joint state.
+	m.PrepareZero(ancilla)
+	m.PrepareZero(magic)
+	refM := &SVMachine{S: ref}
+	refM.PrepareZero(ancilla)
+	refM.PrepareZero(magic)
+	// Undo the tracked byproduct.
+	m.S.ApplyProduct(tr.B)
+	return m.S.FidelityWith(ref)
+}
+
+func TestSinglePi8Rotation(t *testing.T) {
+	// The pi/8 protocol must implement exp(-i pi/8 P) exactly on every
+	// measurement branch, for random P and random input states.
+	for seed := int64(0); seed < 60; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		nData := 1 + r.Intn(3)
+		rot := randomRotation(nData+2, nData, r, AnglePi8)
+		f := runAndCompare(t, nData, []Rotation{rot}, seed)
+		if math.Abs(f-1) > 1e-9 {
+			t.Fatalf("seed %d: P=%v fidelity %v", seed, rot.P, f)
+		}
+	}
+}
+
+func TestSinglePi4Rotation(t *testing.T) {
+	for seed := int64(100); seed < 160; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		nData := 1 + r.Intn(3)
+		rot := randomRotation(nData+2, nData, r, AnglePi4)
+		f := runAndCompare(t, nData, []Rotation{rot}, seed)
+		if math.Abs(f-1) > 1e-9 {
+			t.Fatalf("seed %d: P=%v fidelity %v", seed, rot.P, f)
+		}
+	}
+}
+
+func TestRotationSequencesWithByproducts(t *testing.T) {
+	// Sequences force the byproduct tracker to reinterpret later PPMs:
+	// anticommuting products exercise the virtual-outcome flip path.
+	for seed := int64(200); seed < 260; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		nData := 2 + r.Intn(2)
+		var rots []Rotation
+		k := 2 + r.Intn(4)
+		for i := 0; i < k; i++ {
+			angle := []Angle{AnglePi8, AnglePi4, AnglePi2}[r.Intn(3)]
+			rot := randomRotation(nData+2, nData, r, angle)
+			rot.Neg = r.Intn(2) == 1
+			rots = append(rots, rot)
+		}
+		f := runAndCompare(t, nData, rots, seed)
+		if math.Abs(f-1) > 1e-9 {
+			t.Fatalf("seed %d: %d rotations, fidelity %v", seed, k, f)
+		}
+	}
+}
+
+func TestPi2IsClassicalOnly(t *testing.T) {
+	// A pi/2 rotation must not touch the quantum state at all.
+	n := 4
+	m := NewSVMachine(n, 1)
+	m.S.H(0)
+	m.S.CX(0, 1)
+	before := m.S.Clone()
+	tr := NewTracker(n)
+	p := pauli.NewProduct(n)
+	p.Ops[0] = pauli.X
+	p.Ops[1] = pauli.Z
+	out := ExecutePPR(m, tr, Rotation{P: p, Angle: AnglePi2}, 2, 3)
+	if !out.BPGen {
+		t.Error("pi/2 rotation must set BPGen")
+	}
+	if f := m.S.FidelityWith(before); math.Abs(f-1) > 1e-12 {
+		t.Errorf("pi/2 rotation disturbed the state: fidelity %v", f)
+	}
+	if tr.B.Ops[0] != pauli.X || tr.B.Ops[1] != pauli.Z {
+		t.Errorf("tracker = %v", tr.B)
+	}
+}
+
+func TestTrackerFlipRule(t *testing.T) {
+	tr := NewTracker(3)
+	p, _ := pauli.ParseProduct("XII")
+	tr.Apply(p)
+	zMeas, _ := pauli.ParseProduct("ZII")
+	if !tr.Flip(zMeas) {
+		t.Error("X byproduct must flip a Z measurement")
+	}
+	xMeas, _ := pauli.ParseProduct("XII")
+	if tr.Flip(xMeas) {
+		t.Error("X byproduct must not flip an X measurement")
+	}
+	tr.Clear(0)
+	if tr.Flip(zMeas) {
+		t.Error("Clear did not erase the record")
+	}
+}
+
+func TestInterpretFinalZ(t *testing.T) {
+	tr := NewTracker(2)
+	p, _ := pauli.ParseProduct("YI")
+	tr.Apply(p)
+	if !InterpretFinalZ(tr, 0, false) {
+		t.Error("Y record must flip qubit 0's Z readout")
+	}
+	if InterpretFinalZ(tr, 1, false) {
+		t.Error("identity record flipped qubit 1")
+	}
+}
+
+func TestFinalDistributionMatchesReference(t *testing.T) {
+	// End-to-end: a fixed 2-qubit circuit of pi/4 rotations sampled through
+	// the protocol must reproduce the exact reference distribution.
+	nData := 2
+	n := nData + 2
+	rots := []Rotation{}
+	mk := func(s string, a Angle) Rotation {
+		p, _ := pauli.ParseProduct(s + "II")
+		return Rotation{P: p, Angle: a}
+	}
+	// exp(-i pi/4 X0) exp(-i pi/4 Z0 Z1) exp(-i pi/8... keep Clifford here.
+	rots = append(rots, mk("XI", AnglePi4), mk("ZZ", AnglePi4), mk("IX", AnglePi4))
+
+	ref := statevec.New(n, 1)
+	for _, rot := range rots {
+		ref.ApplyPPR(rot.Angle.ResourceTheta()/2, rot.P)
+	}
+	want := ref.MarginalDistribution([]int{0, 1})
+
+	shots := 4000
+	counts := make([]float64, 4)
+	for s := 0; s < shots; s++ {
+		m := NewSVMachine(n, int64(s)*31+7)
+		tr := NewTracker(n)
+		for _, rot := range rots {
+			ExecutePPR(m, tr, rot, nData, nData+1)
+		}
+		key := 0
+		for q := 0; q < nData; q++ {
+			pr := pauli.NewProduct(n)
+			pr.Ops[q] = pauli.Z
+			raw := m.MeasureProduct(pr)
+			if InterpretFinalZ(tr, q, raw) {
+				key |= 1 << uint(q)
+			}
+		}
+		counts[key]++
+	}
+	for i := range counts {
+		counts[i] /= float64(shots)
+	}
+	if d := statevec.TotalVariation(want, counts); d > 0.04 {
+		t.Fatalf("sampled dTV = %v (want %v got %v)", d, want, counts)
+	}
+}
+
+func TestInvertedRotations(t *testing.T) {
+	// Neg rotations must implement exp(+i theta P) exactly on every branch.
+	for seed := int64(300); seed < 340; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		nData := 1 + r.Intn(3)
+		for _, angle := range []Angle{AnglePi8, AnglePi4} {
+			rot := randomRotation(nData+2, nData, r, angle)
+			rot.Neg = true
+			f := runAndCompare(t, nData, []Rotation{rot}, seed)
+			if math.Abs(f-1) > 1e-9 {
+				t.Fatalf("seed %d angle %v: fidelity %v", seed, angle, f)
+			}
+		}
+	}
+}
+
+func TestThetaSigns(t *testing.T) {
+	r := Rotation{Angle: AnglePi8}
+	if math.Abs(r.Theta()-math.Pi/8) > 1e-12 {
+		t.Errorf("pi/8 theta = %v", r.Theta())
+	}
+	r.Neg = true
+	if math.Abs(r.Theta()+math.Pi/8) > 1e-12 {
+		t.Errorf("inverted pi/8 theta = %v", r.Theta())
+	}
+	r = Rotation{Angle: AnglePi4}
+	if math.Abs(r.Theta()-math.Pi/4) > 1e-12 {
+		t.Errorf("pi/4 theta = %v", r.Theta())
+	}
+	r = Rotation{Angle: AnglePi2}
+	if math.Abs(r.Theta()-math.Pi/2) > 1e-12 {
+		t.Errorf("pi/2 theta = %v", r.Theta())
+	}
+}

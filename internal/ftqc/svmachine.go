@@ -1,0 +1,42 @@
+package ftqc
+
+import (
+	"xqsim/internal/pauli"
+	"xqsim/internal/statevec"
+)
+
+// SVMachine adapts the dense state-vector simulator to the Machine
+// interface. It serves as the exact logical-level reference (the paper's
+// Qiskit role) and as the oracle for the protocol property tests.
+type SVMachine struct {
+	S *statevec.State
+}
+
+// NewSVMachine returns a machine over n logical qubits (including the two
+// resource positions) initialized to |0...0>.
+func NewSVMachine(n int, seed int64) *SVMachine {
+	return &SVMachine{S: statevec.New(n, seed)}
+}
+
+// NumLQ returns the machine width.
+func (m *SVMachine) NumLQ() int { return m.S.N() }
+
+// PrepareZero resets qubit q to |0>.
+func (m *SVMachine) PrepareZero(q int) {
+	pr := pauli.NewProduct(m.S.N())
+	pr.Ops[q] = pauli.Z
+	if m.S.MeasureProduct(pr) {
+		m.S.X(q)
+	}
+}
+
+// PrepareResource prepares the rotation resource state on qubit q.
+func (m *SVMachine) PrepareResource(q int, a Angle) {
+	m.PrepareZero(q)
+	m.S.PrepareResource(q, a.ResourceTheta())
+}
+
+// MeasureProduct measures the Pauli product, sampling and collapsing.
+func (m *SVMachine) MeasureProduct(pr pauli.Product) bool {
+	return m.S.MeasureProduct(pr)
+}

@@ -1,0 +1,191 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xqsim/internal/pauli"
+)
+
+// Assemble parses the textual assembly form back into a program. The
+// format is the one produced by Disassemble: one instruction per line,
+//
+//	OPCODE [off=N] [mreg=N] [flags=0xNN] [paulis=q:P,...] [targets=q:mark,...]
+//
+// Blank lines and ';' comments are ignored.
+func Assemble(src string) (Program, error) {
+	var prog Program
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		op, ok := ParseOpcode(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("line %d: unknown opcode %q", lineNo+1, fields[0])
+		}
+		in := Instr{Op: op}
+		var explicitOffset = -1
+		for _, f := range fields[1:] {
+			k, v, found := strings.Cut(f, "=")
+			if !found {
+				return nil, fmt.Errorf("line %d: malformed operand %q", lineNo+1, f)
+			}
+			switch k {
+			case "off":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 || n > offsetMask {
+					return nil, fmt.Errorf("line %d: bad offset %q", lineNo+1, v)
+				}
+				in.Offset = uint16(n)
+				explicitOffset = n
+			case "mreg":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 || n > mregMask {
+					return nil, fmt.Errorf("line %d: bad mreg %q", lineNo+1, v)
+				}
+				in.MregDst = uint16(n)
+			case "flags":
+				n, err := strconv.ParseUint(strings.TrimPrefix(v, "0x"), 16, 8)
+				if err != nil || n > flagMask {
+					return nil, fmt.Errorf("line %d: bad flags %q", lineNo+1, v)
+				}
+				in.Flags = MeasFlag(n)
+			case "paulis":
+				if err := parsePaulis(&in, v, explicitOffset); err != nil {
+					return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+				}
+			case "targets":
+				if err := parseTargets(&in, v, explicitOffset); err != nil {
+					return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+				}
+			default:
+				return nil, fmt.Errorf("line %d: unknown operand key %q", lineNo+1, k)
+			}
+		}
+		prog = append(prog, in)
+	}
+	return prog, nil
+}
+
+func parsePaulis(in *Instr, v string, explicitOffset int) error {
+	for _, ent := range strings.Split(v, ",") {
+		qs, ps, found := strings.Cut(ent, ":")
+		if !found || len(ps) != 1 {
+			return fmt.Errorf("malformed pauli entry %q", ent)
+		}
+		q, err := strconv.Atoi(qs)
+		if err != nil {
+			return fmt.Errorf("bad qubit %q", qs)
+		}
+		p, ok := pauli.ParsePauli(ps[0])
+		if !ok {
+			return fmt.Errorf("bad pauli %q", ps)
+		}
+		k, err := slot(in, q, explicitOffset)
+		if err != nil {
+			return err
+		}
+		in.SetPauliAt(k, p)
+	}
+	return nil
+}
+
+func parseTargets(in *Instr, v string, explicitOffset int) error {
+	for _, ent := range strings.Split(v, ",") {
+		qs, ms, found := strings.Cut(ent, ":")
+		if !found {
+			return fmt.Errorf("malformed target entry %q", ent)
+		}
+		q, err := strconv.Atoi(qs)
+		if err != nil {
+			return fmt.Errorf("bad qubit %q", qs)
+		}
+		var m LQMark
+		switch ms {
+		case "zero":
+			m = MarkZero
+		case "plus":
+			m = MarkPlus
+		case "magic":
+			m = MarkMagic
+		default:
+			return fmt.Errorf("bad marker %q", ms)
+		}
+		k, err := slot(in, q, explicitOffset)
+		if err != nil {
+			return err
+		}
+		in.SetMarkAt(k, m)
+	}
+	return nil
+}
+
+// slot maps a logical-qubit id to a target-field slot, setting the
+// instruction offset on first use if it was not explicit.
+func slot(in *Instr, q, explicitOffset int) (int, error) {
+	if q < 0 || q >= MaxLogicalQubits {
+		return 0, fmt.Errorf("logical qubit %d out of range", q)
+	}
+	off := q / QubitsPerInstr
+	if explicitOffset >= 0 && off != explicitOffset {
+		return 0, fmt.Errorf("qubit %d outside the instruction's 16-qubit window (off=%d)", q, explicitOffset)
+	}
+	if explicitOffset < 0 {
+		if in.Target != 0 && int(in.Offset) != off {
+			return 0, fmt.Errorf("qubit %d crosses the 16-qubit window of offset %d", q, in.Offset)
+		}
+		in.Offset = uint16(off)
+	}
+	return q % QubitsPerInstr, nil
+}
+
+// Disassemble renders the program in the assembly format accepted by
+// Assemble.
+func Disassemble(p Program) string {
+	var sb strings.Builder
+	for _, in := range p {
+		sb.WriteString(in.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// String renders one instruction in assembly form.
+func (in Instr) String() string {
+	parts := []string{in.Op.String()}
+	if in.Offset != 0 || in.Target != 0 {
+		parts = append(parts, fmt.Sprintf("off=%d", in.Offset))
+	}
+	if in.MregDst != 0 {
+		parts = append(parts, fmt.Sprintf("mreg=%d", in.MregDst))
+	}
+	if in.Flags != 0 {
+		parts = append(parts, fmt.Sprintf("flags=0x%02x", uint8(in.Flags)))
+	}
+	if in.Target != 0 {
+		base := in.BaseLQ()
+		var ents []string
+		if in.Op.TargetKindOf() == TargetPauli {
+			for k := 0; k < QubitsPerInstr; k++ {
+				if p := in.PauliAt(k); p != pauli.I {
+					ents = append(ents, fmt.Sprintf("%d:%s", base+k, p))
+				}
+			}
+			parts = append(parts, "paulis="+strings.Join(ents, ","))
+		} else {
+			for k := 0; k < QubitsPerInstr; k++ {
+				if m := in.MarkAt(k); m != MarkNone {
+					ents = append(ents, fmt.Sprintf("%d:%s", base+k, m))
+				}
+			}
+			parts = append(parts, "targets="+strings.Join(ents, ","))
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,543 @@
+// Package microarch implements the fault-tolerant quantum control
+// processor of the paper's Fig. 6 — QID, PDU, PIU, PSU, TCU, EDU, PFU and
+// LMU — as cycle-accounted transaction models, together with the noisy
+// quantum backend they control.
+//
+// The backend keeps three layers of state:
+//
+//   - an ideal stabilizer tableau over the data qubits of mapped patches,
+//     advanced only by logical-product measurements and resets (the
+//     lattice-surgery entangling semantics; see DESIGN.md for why this
+//     substitution preserves behaviour);
+//   - the truth error frame (errFrame): Pauli errors injected by the noise
+//     model each ESM round;
+//   - the estimate frame (pfFrame): the corrections the error decode unit
+//     derives from syndromes, held by the Pauli frame unit.
+//
+// A logical measurement's physical outcome is the tableau outcome XOR the
+// truth frame's anticommutation with the measured string; the logical
+// measure unit then applies the estimate frame. When decoding succeeds the
+// two flips cancel modulo stabilizers, exactly as in hardware.
+package microarch
+
+import (
+	"fmt"
+
+	"xqsim/internal/decoder"
+	"xqsim/internal/ftqc"
+	"xqsim/internal/noise"
+	"xqsim/internal/pauli"
+	"xqsim/internal/stab"
+	"xqsim/internal/surface"
+)
+
+// Backend is the noisy quantum substrate under the control processor.
+type Backend struct {
+	Layout *surface.PPRLayout
+	Code   surface.Code
+
+	// tab covers the data qubits of the logical-qubit blocks
+	// ((nLQ+2) * d^2 qubits); nil in scaling mode, where only error
+	// frames and syndromes are simulated.
+	tab *stab.Tableau
+
+	// errFrame and pfFrame cover the data qubits of every patch
+	// (numPatches * d^2), indexed patch*d*d + row*d + col.
+	errFrame pauli.Frame
+	pfFrame  pauli.Frame
+
+	dataNoise *noise.Model
+	measNoise *noise.Model
+
+	stabs []surface.Stabilizer // per-patch stabilizer template
+	// condStabs are the seam boundary checks that activate when a side
+	// becomes a Z&X merge seam (surface.ConditionalStabilizers).
+	condStabs []surface.ConditionalStabilizer
+
+	// prevSyn holds the previous round's syndrome per active patch,
+	// indexed by stabilizer template position (regular checks first,
+	// then conditional seam checks).
+	prevSyn map[int][]bool
+	// eventAcc accumulates detection-event parity over the current
+	// decode window.
+	eventAcc map[int][]bool
+	// condWasActive tracks seam-check liveness so a check switching on
+	// mid-merge re-baselines instead of firing a stale event.
+	condWasActive map[int][]bool
+
+	// stats
+	RoundsRun      int
+	LogicalRejects int // decode windows leaving residual logical flips (diagnostic)
+}
+
+// NewBackend builds the substrate for a layout. functional enables the
+// stabilizer tableau (required for logical outcomes; scaling sweeps turn
+// it off). p is the physical error rate applied to data qubits per round
+// and to syndrome measurements.
+func NewBackend(layout *surface.PPRLayout, p float64, seed int64, functional bool) *Backend {
+	d := layout.Code.D
+	b := &Backend{
+		Layout:        layout,
+		Code:          layout.Code,
+		errFrame:      pauli.NewFrame(layout.NumPatches() * d * d),
+		pfFrame:       pauli.NewFrame(layout.NumPatches() * d * d),
+		dataNoise:     noise.NewModel(p, seed),
+		measNoise:     noise.NewModel(p, seed+1),
+		stabs:         layout.Code.Stabilizers(),
+		condStabs:     layout.Code.ConditionalStabilizers(),
+		prevSyn:       make(map[int][]bool),
+		eventAcc:      make(map[int][]bool),
+		condWasActive: make(map[int][]bool),
+	}
+	if functional {
+		b.tab = stab.New((layout.NLQ+2)*d*d, seed+2)
+	}
+	return b
+}
+
+// NumLQ implements ftqc.Machine: data qubits plus the two resource slots.
+func (b *Backend) NumLQ() int { return b.Layout.NLQ + 2 }
+
+// blockIndex maps logical qubit lq's local data coordinate to its tableau
+// index.
+func (b *Backend) blockIndex(lq int, q surface.Coord) int {
+	d := b.Code.D
+	return lq*d*d + q.Row*d + q.Col
+}
+
+// frameIndex maps a patch-local data coordinate to the frame index.
+func (b *Backend) frameIndex(patch int, q surface.Coord) int {
+	d := b.Code.D
+	return patch*d*d + q.Row*d + q.Col
+}
+
+// patchOf resolves the lattice patch holding logical qubit lq, mapping the
+// resource qubits to their reserved positions on demand.
+func (b *Backend) patchOf(lq int) int {
+	if idx, ok := b.Layout.PatchOfLQ(lq); ok {
+		return idx
+	}
+	switch lq {
+	case b.Layout.AncillaLQ:
+		b.Layout.MapLogical(lq, b.Layout.AncillaP, surface.InitZero)
+		return b.Layout.AncillaP
+	case b.Layout.MagicLQ:
+		b.Layout.MapLogical(lq, b.Layout.MagicP, surface.InitMagic)
+		return b.Layout.MagicP
+	}
+	panic(fmt.Sprintf("microarch: logical qubit %d is not mapped", lq))
+}
+
+// resetPatchFrames clears both frames on a patch (physical re-preparation
+// destroys accumulated errors and invalidates old corrections).
+func (b *Backend) resetPatchFrames(patch int) {
+	d := b.Code.D
+	base := patch * d * d
+	for i := 0; i < d*d; i++ {
+		b.errFrame.Ops[base+i] = pauli.I
+		b.pfFrame.Ops[base+i] = pauli.I
+	}
+}
+
+// activatePatch (re)sets the syndrome baseline so no stale detection
+// events fire on the first round after (re)initialization.
+func (b *Backend) activatePatch(patch int) {
+	total := len(b.stabs) + len(b.condStabs)
+	b.prevSyn[patch] = make([]bool, total)
+	b.eventAcc[patch] = make([]bool, total)
+	b.condWasActive[patch] = make([]bool, len(b.condStabs))
+}
+
+// PrepareZero implements ftqc.Machine: initialize logical qubit lq to |0>.
+func (b *Backend) PrepareZero(lq int) {
+	patch := b.patchOf(lq)
+	d := b.Code.D
+	if b.tab != nil {
+		for i := 0; i < d*d; i++ {
+			b.tab.Reset(lq*d*d + i)
+		}
+	}
+	b.resetPatchFrames(patch)
+	b.Layout.EnableESM(patch)
+	b.activatePatch(patch)
+}
+
+// PreparePlus initializes logical qubit lq to |+>.
+func (b *Backend) PreparePlus(lq int) {
+	b.PrepareZero(lq)
+	if b.tab != nil {
+		d := b.Code.D
+		for i := 0; i < d*d; i++ {
+			b.tab.H(lq*d*d + i)
+		}
+	}
+}
+
+// PrepareResource implements ftqc.Machine. Only the stabilizer resource
+// (AnglePi4, the state |+i>) is preparable in functional mode; preparing
+// the pi/8 magic state requires the documented stabilizer substitution.
+// In scaling mode (no tableau) both are accepted, since only control
+// traffic is simulated.
+func (b *Backend) PrepareResource(lq int, a ftqc.Angle) {
+	b.PrepareZero(lq)
+	if b.tab == nil {
+		return
+	}
+	if a != ftqc.AnglePi4 {
+		panic("microarch: pi/8 magic states are not stabilizer-preparable; run the circuit through SubstituteStabilizer for functional validation")
+	}
+	// |+i> = +1 eigenstate of logical Y: measure Y_L on |0_L> and fix the
+	// sign with a logical Z when the -1 branch is drawn.
+	qs, ops := b.logicalOps(lq, pauli.Y)
+	out, _ := b.tab.MeasureProduct(qs, ops)
+	if out {
+		zqs, zops := b.logicalOps(lq, pauli.Z)
+		for i, q := range zqs {
+			b.tab.ApplyPauli(q, zops[i])
+		}
+	}
+}
+
+// logicalOps returns the canonical physical operator string of logical
+// X/Y/Z on qubit lq as tableau indices and Pauli factors.
+func (b *Backend) logicalOps(lq int, basis pauli.Pauli) ([]int, []pauli.Pauli) {
+	var qs []int
+	var ops []pauli.Pauli
+	add := func(coords []surface.Coord, p pauli.Pauli) {
+		for _, c := range coords {
+			idx := b.blockIndex(lq, c)
+			found := false
+			for i, q := range qs {
+				if q == idx {
+					ops[i] = ops[i].Mul(p)
+					found = true
+					break
+				}
+			}
+			if !found {
+				qs = append(qs, idx)
+				ops = append(ops, p)
+			}
+		}
+	}
+	switch basis {
+	case pauli.Z:
+		add(b.Code.LogicalZ(), pauli.Z)
+	case pauli.X:
+		add(b.Code.LogicalX(), pauli.X)
+	case pauli.Y:
+		add(b.Code.LogicalZ(), pauli.Z)
+		add(b.Code.LogicalX(), pauli.X)
+	}
+	return qs, ops
+}
+
+// logicalFrameString returns the same operator string in frame (patch)
+// indexing, for error-flip computation.
+func (b *Backend) logicalFrameString(lq int, basis pauli.Pauli) ([]int, []pauli.Pauli) {
+	patch := b.patchOf(lq)
+	qs, ops := b.logicalOps(lq, basis)
+	d := b.Code.D
+	out := make([]int, len(qs))
+	for i, q := range qs {
+		out[i] = patch*d*d + q%(d*d)
+	}
+	return out, ops
+}
+
+// frameFlip computes whether a frame anticommutes with the operator
+// string (qs in frame indexing).
+func frameFlip(f pauli.Frame, qs []int, ops []pauli.Pauli) bool {
+	flips := 0
+	for i, q := range qs {
+		if !f.Ops[q].Commutes(ops[i]) {
+			flips++
+		}
+	}
+	return flips%2 == 1
+}
+
+// MeasureProduct implements ftqc.Machine: measure a Hermitian Pauli
+// product over the machine's logical qubits. The returned bit is the
+// *corrected* outcome: tableau ideal XOR truth-frame flip XOR
+// estimate-frame correction (the LMU's virtual error correction). Raw and
+// correction parts are also available via MeasureProductDetail.
+func (b *Backend) MeasureProduct(pr pauli.Product) bool {
+	out, _, _ := b.MeasureProductDetail(pr, nil)
+	return out
+}
+
+// MeasureProductDetail measures the logical product and additionally
+// reports the uncorrected physical outcome and the estimate-frame
+// correction bit. extraFramePatches lists intermediate patches whose
+// pass-through error strings also gate the outcome (merged PPMs).
+func (b *Backend) MeasureProductDetail(pr pauli.Product, extraFramePatches []int) (corrected, raw, pfFlip bool) {
+	if pr.Len() != b.NumLQ() {
+		panic("microarch: product width mismatch")
+	}
+	var tqs []int
+	var tops []pauli.Pauli
+	var fqs []int
+	var fops []pauli.Pauli
+	for lq, p := range pr.Ops {
+		if p == pauli.I {
+			continue
+		}
+		qs, ops := b.logicalOps(lq, p)
+		tqs = append(tqs, qs...)
+		tops = append(tops, ops...)
+		gqs, gops := b.logicalFrameString(lq, p)
+		fqs = append(fqs, gqs...)
+		fops = append(fops, gops...)
+	}
+	// Pass-through sensitivity: a Z-type string through each intermediate
+	// routing patch of the merge (the correlation surface crossing it).
+	d := b.Code.D
+	for _, patch := range extraFramePatches {
+		col := d / 2
+		for row := 0; row < d; row++ {
+			fqs = append(fqs, b.frameIndex(patch, surface.Coord{Row: row, Col: col}))
+			fops = append(fops, pauli.Z)
+		}
+	}
+	ideal := false
+	if b.tab != nil {
+		ideal, _ = b.tab.MeasureProduct(tqs, tops)
+	}
+	raw = ideal != frameFlip(b.errFrame, fqs, fops)
+	pfFlip = frameFlip(b.pfFrame, fqs, fops)
+	return raw != pfFlip, raw, pfFlip
+}
+
+// InjectRoundNoise applies one round of Pauli noise to the data qubits of
+// every ESM-active patch.
+func (b *Backend) InjectRoundNoise() {
+	d := b.Code.D
+	for _, patch := range b.Layout.ActiveESMPatches() {
+		base := patch * d * d
+		for _, i := range b.dataNoise.SampleSites(d * d) {
+			b.errFrame.Ops[base+i] ^= pauli.X
+		}
+		for _, i := range b.dataNoise.SampleSites(d * d) {
+			b.errFrame.Ops[base+i] ^= pauli.Z
+		}
+	}
+}
+
+// MeasureSyndromes runs one round of syndrome extraction over the active
+// patches, accumulating detection events into the current window. It
+// returns the number of ancilla measurements taken (for traffic
+// accounting).
+func (b *Backend) MeasureSyndromes() int { return b.MeasureSyndromesRound(false) }
+
+// MeasureSyndromesRound runs one syndrome round; final marks the last
+// round of a decode window, whose measurement outcomes are cross-checked
+// against the transversal data-qubit readout that follows in lattice
+// surgery and are therefore modeled noise-free. Without this, a
+// measurement flip in the window's last round masquerades as a data error
+// at the decode boundary and corrupts logical readouts at a rate the code
+// distance cannot suppress (the standard phenomenological-model boundary
+// condition).
+func (b *Backend) MeasureSyndromesRound(final bool) int {
+	d := b.Code.D
+	measured := 0
+	for _, patch := range b.Layout.ActiveESMPatches() {
+		prev, ok := b.prevSyn[patch]
+		if !ok {
+			b.activatePatch(patch)
+			prev = b.prevSyn[patch]
+		}
+		acc := b.eventAcc[patch]
+		dyn := b.Layout.Patch(patch).Dynamic
+		base := patch * d * d
+		parityOf := func(st surface.Stabilizer) bool {
+			par := false
+			for _, q := range st.Data {
+				rec := b.errFrame.Ops[base+q.Row*d+q.Col]
+				if !rec.Commutes(st.Basis) {
+					par = !par
+				}
+			}
+			if !final && b.measNoise.Hit() {
+				par = !par
+			}
+			return par
+		}
+		for si, st := range b.stabs {
+			if !surface.StabilizerActive(b.Code, st, dyn) {
+				continue
+			}
+			par := parityOf(st)
+			if par != prev[si] {
+				acc[si] = !acc[si]
+			}
+			prev[si] = par
+			measured++
+		}
+		// Seam checks: only while their side is a Z&X seam; re-baseline
+		// on activation.
+		wasActive := b.condWasActive[patch]
+		for ci, cs := range b.condStabs {
+			si := len(b.stabs) + ci
+			if !surface.ConditionalActive(cs, dyn) {
+				wasActive[ci] = false
+				continue
+			}
+			par := parityOf(cs.Stabilizer)
+			if wasActive[ci] && par != prev[si] {
+				acc[si] = !acc[si]
+			}
+			prev[si] = par
+			wasActive[ci] = true
+			measured++
+		}
+	}
+	b.RoundsRun++
+	return measured
+}
+
+// WindowDecode is the per-window decoding outcome consumed by the EDU
+// cycle model. Matches are split per basis because Optimization #1's
+// priority-encoder EDU decodes the X- and Z-cell arrays in parallel,
+// while the baseline round-robin token chain is shared.
+type WindowDecode struct {
+	MatchesZ    []decoder.Match // Z-plaquette (X-error) matches
+	MatchesX    []decoder.Match // X-plaquette (Z-error) matches
+	ActiveCells int             // EDU cells participating (all active ancillas)
+	Windows     int             // patch windows processed (patch-sliding slides)
+	Syndromes   int             // non-trivial syndrome count
+	Flips       int             // identified data-qubit errors
+}
+
+// Matches returns both bases' matches combined.
+func (w WindowDecode) Matches() []decoder.Match {
+	out := make([]decoder.Match, 0, len(w.MatchesZ)+len(w.MatchesX))
+	out = append(out, w.MatchesZ...)
+	out = append(out, w.MatchesX...)
+	return out
+}
+
+// FinishWindow decodes the accumulated detection events of every active
+// patch and folds the identified errors into the estimate frame. The
+// event accumulators reset for the next window.
+func (b *Backend) FinishWindow() WindowDecode {
+	var out WindowDecode
+	for _, patch := range b.Layout.ActiveESMPatches() {
+		acc, ok := b.eventAcc[patch]
+		if !ok {
+			continue
+		}
+		out.Windows++
+		out.ActiveCells += len(b.stabs)
+
+		// Seam-check events: counted into the decode load (one short
+		// boundary-matched token each — the cross-patch pairing itself is
+		// subsumed by the joint logical measurement; see DESIGN.md §5),
+		// but they contribute no per-patch corrections.
+		for ci, cs := range b.condStabs {
+			si := len(b.stabs) + ci
+			if !acc[si] {
+				continue
+			}
+			out.Syndromes++
+			m := decoder.Match{From: cs.Anc, ToBoundary: true, Steps: 1}
+			if cs.Basis == pauli.Z {
+				out.MatchesZ = append(out.MatchesZ, m)
+			} else {
+				out.MatchesX = append(out.MatchesX, m)
+			}
+			acc[si] = false
+		}
+		for _, basis := range []pauli.Pauli{pauli.Z, pauli.X} {
+			syn := make(map[surface.Coord]bool)
+			for si, st := range b.stabs {
+				if st.Basis == basis && acc[si] {
+					syn[st.Anc] = true
+					out.Syndromes++
+				}
+			}
+			if len(syn) == 0 {
+				continue
+			}
+			res := decoder.DecodePatch(b.Code, basis, syn)
+			if basis == pauli.Z {
+				out.MatchesZ = append(out.MatchesZ, res.Matches...)
+			} else {
+				out.MatchesX = append(out.MatchesX, res.Matches...)
+			}
+			out.Flips += len(res.Flips)
+			// Z-type plaquettes identify X errors and vice versa.
+			errType := pauli.X
+			if basis == pauli.X {
+				errType = pauli.Z
+			}
+			for _, q := range res.Flips {
+				b.pfFrame.Ops[b.frameIndex(patch, q)] ^= errType
+			}
+		}
+		for si := range b.stabs {
+			acc[si] = false
+		}
+	}
+	return out
+}
+
+// InitIntermediates prepares the routing patches of a merge region: fresh
+// |+> data qubits (frames cleared) and a fresh syndrome baseline.
+func (b *Backend) InitIntermediates(region []int) int {
+	count := 0
+	for _, patch := range region {
+		if b.Layout.Patch(patch).Static.Type != surface.Intermediate {
+			continue
+		}
+		b.resetPatchFrames(patch)
+		b.activatePatch(patch)
+		count++
+	}
+	return count
+}
+
+// MeasureIntermediates measures out the routing patches after a split,
+// clearing their frames and deactivating their windows. It returns the
+// number of patches processed.
+func (b *Backend) MeasureIntermediates(region []int) int {
+	count := 0
+	for _, patch := range region {
+		if b.Layout.Patch(patch).Static.Type != surface.Intermediate {
+			continue
+		}
+		b.resetPatchFrames(patch)
+		delete(b.prevSyn, patch)
+		delete(b.eventAcc, patch)
+		count++
+	}
+	return count
+}
+
+// DiscardLogical releases logical qubit lq's patch (after a destructive
+// logical measurement).
+func (b *Backend) DiscardLogical(lq int) {
+	patch, ok := b.Layout.PatchOfLQ(lq)
+	if !ok {
+		return
+	}
+	b.resetPatchFrames(patch)
+	delete(b.prevSyn, patch)
+	delete(b.eventAcc, patch)
+	b.Layout.UnmapLogical(lq)
+	p := b.Layout.Patch(patch)
+	p.Dynamic.ESMOn = false
+	for s := surface.Left; s <= surface.Bottom; s++ {
+		p.Dynamic.ESM[s] = surface.ESMNone
+	}
+}
+
+// InjectLogicalError deterministically applies a physical error chain that
+// flips logical basis of qubit lq (for fault-injection tests): a full
+// logical operator string written into the truth frame.
+func (b *Backend) InjectLogicalError(lq int, basis pauli.Pauli) {
+	qs, ops := b.logicalFrameString(lq, basis)
+	for i, q := range qs {
+		b.errFrame.Ops[q] ^= ops[i]
+	}
+}

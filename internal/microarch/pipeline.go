@@ -1,0 +1,610 @@
+package microarch
+
+import (
+	"fmt"
+
+	"xqsim/internal/decoder"
+	"xqsim/internal/ftqc"
+	"xqsim/internal/isa"
+	"xqsim/internal/pauli"
+	"xqsim/internal/surface"
+)
+
+// Unit identifies one hardware unit of the control processor (plus the QC
+// interface as the traffic endpoint).
+type Unit int
+
+// Hardware units (Fig. 6).
+const (
+	UnitQID Unit = iota
+	UnitPDU
+	UnitPIU
+	UnitPSU
+	UnitTCU
+	UnitEDU
+	UnitPFU
+	UnitLMU
+	UnitQCI // the quantum-classical interface endpoint (always at 4 K)
+	NumUnits
+)
+
+var unitNames = [...]string{"QID", "PDU", "PIU", "PSU", "TCU", "EDU", "PFU", "LMU", "QCI"}
+
+// String names the unit.
+func (u Unit) String() string {
+	if int(u) < len(unitNames) {
+		return unitNames[u]
+	}
+	return fmt.Sprintf("U%d", int(u))
+}
+
+// UnitStats accumulates one unit's activity.
+type UnitStats struct {
+	Ops          uint64 // transactions processed
+	ActiveCycles uint64 // cycles spent busy
+}
+
+// Metrics is the cycle-accurate accounting a pipeline run produces. All
+// byte/time conversions into the four scalability metrics happen in the
+// engine (internal/core), which owns frequencies and temperature maps.
+type Metrics struct {
+	Unit [NumUnits]UnitStats
+	// TransferBits[src][dst] counts inter-unit payload bits.
+	TransferBits [NumUnits][NumUnits]uint64
+
+	Instructions int
+	ESMRounds    int
+	ESMTimeNs    float64 // virtual time spent inside ESM rounds
+	VirtualNs    float64 // total virtual time (quantum-operation limited)
+
+	DecodeWindows   int
+	DecodeCyclesSum uint64
+	DecodeCyclesMax uint64
+	SyndromesSum    int
+	MatchesSum      int
+	MatchStepsSum   int
+	// MaxActivePhys is the largest ESM-active physical-qubit count seen
+	// (peak instruction-bandwidth accounting).
+	MaxActivePhys int
+
+	// MregFile is the measurement register file after the run.
+	MregFile map[uint16]bool
+}
+
+// transfer records src->dst payload bits.
+func (m *Metrics) transfer(src, dst Unit, bits uint64) {
+	m.TransferBits[src][dst] += bits
+}
+
+// UnitTrafficBits returns the total bits sourced by a unit (the paper's
+// Fig. 16(a) attribution).
+func (m *Metrics) UnitTrafficBits(u Unit) uint64 {
+	var total uint64
+	for dst := Unit(0); dst < NumUnits; dst++ {
+		total += m.TransferBits[u][dst]
+	}
+	return total
+}
+
+// Config sets the microarchitectural and physical parameters of a run.
+type Config struct {
+	D          int
+	PhysError  float64
+	Seed       int64
+	Functional bool // enable the stabilizer tableau (logical outcomes)
+
+	Scheme decoder.Scheme
+	// MaskGenerators is the PSU mask-generator count; MaskSharing is
+	// Optimization #2's per-generator qubit multiplier.
+	MaskGenerators int
+	MaskSharing    int
+
+	CwdBits       int
+	StepsPerRound int
+
+	T1QNs, T2QNs, TMeasNs float64
+}
+
+// Pipeline executes QISA programs on the full microarchitecture.
+type Pipeline struct {
+	Cfg Config
+	B   *Backend
+	M   Metrics
+
+	nLQ int // machine width (data + 2 resource qubits)
+
+	// LMU architectural state.
+	byproduct    pauli.Product // byproduct register (phase-free)
+	condSlots    []bool        // per-PPR condition slots (a, b, c, ...)
+	pauliListReg pauli.Product // Pauli_list_reg: the PPR's product
+
+	// Merge bookkeeping between MERGE_INFO and PPM_INTERPRET.
+	pendingProducts []pauli.Product
+	pendingRegion   map[int]bool
+	mergeResults    []mergeResult
+
+	// Optional per-instruction trace (EnableTrace).
+	traceOn bool
+	trace   []TraceEvent
+}
+
+type mergeResult struct {
+	product   pauli.Product
+	corrected bool // physical outcome after PFU correction
+}
+
+// NewPipeline builds a pipeline over a fresh layout and backend.
+func NewPipeline(layout *surface.PPRLayout, cfg Config) *Pipeline {
+	if cfg.MaskGenerators <= 0 {
+		panic("microarch: config needs mask generators")
+	}
+	if cfg.MaskSharing <= 0 {
+		cfg.MaskSharing = 1
+	}
+	p := &Pipeline{
+		Cfg:           cfg,
+		B:             NewBackend(layout, cfg.PhysError, cfg.Seed, cfg.Functional),
+		nLQ:           layout.NLQ + 2,
+		byproduct:     pauli.NewProduct(layout.NLQ + 2),
+		pendingRegion: make(map[int]bool),
+	}
+	p.M.MregFile = make(map[uint16]bool)
+	return p
+}
+
+// roundNs is the wall-clock duration of one ESM round.
+func (p *Pipeline) roundNs() float64 {
+	return 2*p.Cfg.T1QNs + 4*p.Cfg.T2QNs + p.Cfg.TMeasNs
+}
+
+// activePhys counts the physical qubits in ESM-active patches (the
+// paper's 2*(d+1)^2 accounting).
+func (p *Pipeline) activePhys() int {
+	return len(p.B.Layout.ActiveESMPatches()) * p.B.Code.PhysPerPatch()
+}
+
+// psuStep accounts one physical schedule step over nPhys qubits: the PSU
+// iterates its mask generators, the TCU streams the codeword array to the
+// QC interface.
+func (p *Pipeline) psuStep(nPhys int) {
+	if nPhys == 0 {
+		return
+	}
+	gens := p.Cfg.MaskGenerators * p.Cfg.MaskSharing
+	cycles := uint64((nPhys + gens - 1) / gens)
+	p.M.Unit[UnitPSU].Ops++
+	p.M.Unit[UnitPSU].ActiveCycles += cycles
+	p.M.Unit[UnitTCU].Ops++
+	p.M.Unit[UnitTCU].ActiveCycles += cycles
+	bits := uint64(nPhys * p.Cfg.CwdBits)
+	p.M.transfer(UnitPSU, UnitTCU, bits)
+	p.M.transfer(UnitTCU, UnitQCI, bits+32) // plus the cycle_time word
+}
+
+// Run executes the program to completion.
+func (p *Pipeline) Run(prog isa.Program) error {
+	for i := 0; i < len(prog); {
+		in := prog[i]
+		p.M.Instructions++
+		p.M.Unit[UnitQID].Ops++
+		p.M.Unit[UnitQID].ActiveCycles++
+		p.M.transfer(UnitQID, UnitPDU, 64)
+
+		p.traceStep(i, in.Op.String())
+		switch in.Op {
+		case isa.LQI:
+			p.execLQI(in)
+			i++
+		case isa.MergeInfo:
+			// QID accumulates the windows of one Pauli product: a group
+			// ends when an offset repeats (the compiler emits ascending
+			// offsets per product).
+			group, next := groupBy(prog, i, func(a, b isa.Instr) bool {
+				return b.Op == isa.MergeInfo
+			})
+			for range group[1:] {
+				p.M.Instructions++
+				p.M.Unit[UnitQID].Ops++
+				p.M.Unit[UnitQID].ActiveCycles++
+				p.M.transfer(UnitQID, UnitPDU, 64)
+			}
+			p.execMergeInfo(group)
+			i = next
+		case isa.SplitInfo:
+			p.execSplitInfo()
+			i++
+		case isa.InitIntmd:
+			p.execInitIntmd()
+			i++
+		case isa.MeasIntmd:
+			p.execMeasIntmd()
+			i++
+		case isa.RunESM:
+			p.execRunESM()
+			i++
+		case isa.PPMInterpret:
+			group, next := groupBy(prog, i, func(a, b isa.Instr) bool {
+				return b.Op == isa.PPMInterpret && b.MregDst == a.MregDst
+			})
+			for range group[1:] {
+				p.M.Instructions++
+				p.M.Unit[UnitQID].Ops++
+				p.M.Unit[UnitQID].ActiveCycles++
+				p.M.transfer(UnitQID, UnitPDU, 64)
+			}
+			p.execInterpret(group)
+			i = next
+		case isa.LQMX, isa.LQMZ, isa.LQMFM:
+			p.execLQM(in)
+			i++
+		default:
+			return fmt.Errorf("microarch: unsupported opcode %v", in.Op)
+		}
+	}
+	return nil
+}
+
+// groupBy collects prog[i] plus following instructions while same(first,
+// next) holds and the offsets keep ascending (an offset repeat starts a
+// new group).
+func groupBy(prog isa.Program, i int, same func(a, b isa.Instr) bool) ([]isa.Instr, int) {
+	group := []isa.Instr{prog[i]}
+	last := prog[i].Offset
+	j := i + 1
+	for j < len(prog) && same(prog[i], prog[j]) && prog[j].Offset > last {
+		group = append(group, prog[j])
+		last = prog[j].Offset
+		j++
+	}
+	return group, j
+}
+
+// groupProduct merges the Pauli windows of a group into one product over
+// the machine width.
+func (p *Pipeline) groupProduct(group []isa.Instr) pauli.Product {
+	pr := pauli.NewProduct(p.nLQ)
+	for _, in := range group {
+		w := in.PauliProduct(p.nLQ)
+		for q, op := range w.Ops {
+			if op != pauli.I {
+				pr.Ops[q] = op
+			}
+		}
+	}
+	return pr
+}
+
+func (p *Pipeline) execLQI(in isa.Instr) {
+	targets := in.TargetLQs()
+	p.M.Unit[UnitPDU].Ops++
+	p.M.Unit[UnitPDU].ActiveCycles++
+	p.M.transfer(UnitPDU, UnitPIU, uint64(len(targets)*16))
+	p.M.Unit[UnitPIU].Ops++
+	p.M.Unit[UnitPIU].ActiveCycles += uint64(len(targets))
+
+	angle := angleOf(in.Flags)
+	nPhys := 0
+	for _, t := range targets {
+		switch t.Mark {
+		case isa.MarkZero:
+			p.B.PrepareZero(t.LQ)
+		case isa.MarkPlus:
+			p.B.PreparePlus(t.LQ)
+		case isa.MarkMagic:
+			p.B.PrepareResource(t.LQ, angle)
+		}
+		// The LMU clears the byproduct record of re-initialized qubits.
+		p.byproduct.Ops[t.LQ] = pauli.I
+		nPhys += p.B.Code.PhysPerPatch()
+	}
+	p.psuStep(nPhys)
+	p.M.VirtualNs += p.Cfg.T1QNs
+}
+
+func (p *Pipeline) execMergeInfo(group []isa.Instr) {
+	pr := p.groupProduct(group)
+	var targets []int
+	for lq, op := range pr.Ops {
+		if op == pauli.I {
+			continue
+		}
+		patch, ok := p.B.Layout.PatchOfLQ(lq)
+		if !ok {
+			panic(fmt.Sprintf("microarch: MERGE_INFO targets unmapped LQ %d", lq))
+		}
+		targets = append(targets, patch)
+	}
+	region, err := p.B.Layout.MergeRegion(targets)
+	if err != nil {
+		panic("microarch: " + err.Error())
+	}
+	p.B.Layout.ApplyMerge(region)
+	for _, idx := range region {
+		p.pendingRegion[idx] = true
+	}
+	p.pendingProducts = append(p.pendingProducts, pr)
+
+	p.M.Unit[UnitPDU].Ops++
+	p.M.Unit[UnitPDU].ActiveCycles += uint64(len(group))
+	p.M.transfer(UnitPDU, UnitPIU, uint64(len(targets)*16))
+	p.M.Unit[UnitPIU].Ops++
+	p.M.Unit[UnitPIU].ActiveCycles += uint64(len(region)) // one patch per cycle
+}
+
+func (p *Pipeline) execSplitInfo() {
+	region := p.regionSlice()
+	p.B.Layout.ApplySplit(region)
+	p.M.Unit[UnitPIU].Ops++
+	p.M.Unit[UnitPIU].ActiveCycles += uint64(len(region))
+	p.pendingRegion = make(map[int]bool)
+}
+
+func (p *Pipeline) regionSlice() []int {
+	out := make([]int, 0, len(p.pendingRegion))
+	for idx := range p.pendingRegion {
+		out = append(out, idx)
+	}
+	return out
+}
+
+// intermediates lists the routing patches of the pending region.
+func (p *Pipeline) intermediates() []int {
+	var out []int
+	for idx := range p.pendingRegion {
+		if p.B.Layout.Patch(idx).Static.Type == surface.Intermediate {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+func (p *Pipeline) execInitIntmd() {
+	region := p.regionSlice()
+	n := p.B.InitIntermediates(region)
+	p.M.Unit[UnitPIU].Ops++
+	p.M.Unit[UnitPIU].ActiveCycles += uint64(n)
+	p.psuStep(n * p.B.Code.PhysPerPatch())
+	p.M.VirtualNs += p.Cfg.T1QNs
+}
+
+func (p *Pipeline) execMeasIntmd() {
+	intmd := p.intermediates()
+	n := p.B.MeasureIntermediates(p.regionSlice())
+	p.psuStep(n * p.B.Code.PhysPerPatch())
+	// Intermediate X-measurement results return to the LMU.
+	d := p.B.Code.D
+	p.M.transfer(UnitQCI, UnitLMU, uint64(len(intmd)*d*d))
+	p.M.Unit[UnitLMU].Ops++
+	p.M.Unit[UnitLMU].ActiveCycles += uint64(len(intmd))
+	p.M.VirtualNs += p.Cfg.TMeasNs
+}
+
+func (p *Pipeline) execRunESM() {
+	d := p.Cfg.D
+	active := len(p.B.Layout.ActiveESMPatches())
+	nPhys := p.activePhys()
+
+	// PIU forwards the active patches' information into the PSU's
+	// double-buffered shift register once per window.
+	p.M.Unit[UnitPIU].Ops++
+	p.M.Unit[UnitPIU].ActiveCycles += uint64(active)
+	p.M.transfer(UnitPIU, UnitPSU, uint64(active*64))
+	p.M.transfer(UnitPIU, UnitEDU, uint64(active*32))
+
+	totalPhys := p.B.Layout.PhysicalQubits()
+	for r := 0; r < d; r++ {
+		for s := 0; s < p.Cfg.StepsPerRound; s++ {
+			p.psuStep(nPhys)
+		}
+		// The QC interface is synchronous: idle qubit lines receive
+		// keep-alive timing frames of the same width every step.
+		if idle := totalPhys - nPhys; idle > 0 {
+			p.M.transfer(UnitTCU, UnitQCI, uint64(idle*p.Cfg.CwdBits*p.Cfg.StepsPerRound))
+		}
+		p.B.InjectRoundNoise()
+		anc := p.B.MeasureSyndromesRound(r == d-1)
+		p.M.transfer(UnitQCI, UnitEDU, uint64(anc))
+		p.M.ESMRounds++
+		p.M.ESMTimeNs += p.roundNs()
+		p.M.VirtualNs += p.roundNs()
+	}
+
+	if nPhys > p.M.MaxActivePhys {
+		p.M.MaxActivePhys = nPhys
+	}
+
+	// Window decode: EDU cells match, PFU folds in the corrections.
+	wd := p.B.FinishWindow()
+	for _, m := range wd.Matches() {
+		p.M.MatchesSum++
+		p.M.MatchStepsSum += m.Steps
+	}
+	cycles := p.decodeCycles(wd)
+	p.M.DecodeWindows++
+	p.M.DecodeCyclesSum += cycles
+	if cycles > p.M.DecodeCyclesMax {
+		p.M.DecodeCyclesMax = cycles
+	}
+	p.M.SyndromesSum += wd.Syndromes
+	p.M.Unit[UnitEDU].Ops++
+	p.M.Unit[UnitEDU].ActiveCycles += cycles
+	p.M.transfer(UnitEDU, UnitPFU, uint64(wd.Flips*16))
+	p.M.Unit[UnitPFU].Ops++
+	p.M.Unit[UnitPFU].ActiveCycles += 2
+
+	// If this window carried a merge, record the PPM outcomes now (the
+	// joint logical measurements the merged ESM performs), with the
+	// pass-through error sensitivity of the routing patches.
+	if len(p.pendingProducts) > 0 && len(p.pendingRegion) > 0 {
+		intmd := p.intermediates()
+		for _, pr := range p.pendingProducts {
+			corrected, _, _ := p.B.MeasureProductDetail(pr, intmd)
+			p.mergeResults = append(p.mergeResults, mergeResult{product: pr, corrected: corrected})
+		}
+		p.pendingProducts = nil
+	}
+}
+
+// SpikeWaitCycles is the per-token spike-propagation window: the token
+// cell waits for the racing spikes to cross the patch-sized cell window
+// and reflect before committing a match (4*(d+1) cell hops).
+func SpikeWaitCycles(d int) int { return 4 * (d + 1) }
+
+// decodeCycles costs one window decode under the configured scheme:
+//
+//   - round-robin (baseline, Fig. 15a): the shared token circulates
+//     through every active cell once per ESM round of the window, plus
+//     the per-match spike traffic;
+//   - priority (Optimization #1, Fig. 15b): the X and Z cell arrays
+//     decode in parallel; each token allocation costs a single cycle
+//     plus the spike window;
+//   - patch-sliding (Optimization #4, Fig. 20): priority latency plus one
+//     pipeline-fill cycle per window slide.
+func (p *Pipeline) decodeCycles(wd WindowDecode) uint64 {
+	wait := SpikeWaitCycles(p.Cfg.D)
+	spikes := func(ms []decoder.Match) int {
+		total := 0
+		for _, m := range ms {
+			total += 2*m.Steps + wait + 4
+		}
+		return total
+	}
+	perBasis := func(ms []decoder.Match) int {
+		return len(ms) + spikes(ms)
+	}
+	switch p.Cfg.Scheme {
+	case decoder.SchemeRoundRobin:
+		return uint64(p.Cfg.D*wd.ActiveCells + spikes(wd.Matches()))
+	case decoder.SchemePriority:
+		z, x := perBasis(wd.MatchesZ), perBasis(wd.MatchesX)
+		if z > x {
+			return uint64(z)
+		}
+		return uint64(x)
+	case decoder.SchemePatchSliding:
+		z, x := perBasis(wd.MatchesZ), perBasis(wd.MatchesX)
+		if x > z {
+			z = x
+		}
+		return uint64(z + wd.Windows)
+	}
+	return 0
+}
+
+// angleOf decodes the protocol angle from the measurement flags.
+func angleOf(f isa.MeasFlag) ftqc.Angle {
+	if f&isa.FlagAnglePi4 != 0 {
+		return ftqc.AnglePi4
+	}
+	return ftqc.AnglePi8
+}
+
+func (p *Pipeline) execInterpret(group []isa.Instr) {
+	in := group[0]
+	pr := p.groupProduct(group)
+	if len(p.mergeResults) == 0 {
+		panic("microarch: PPM_INTERPRET without a recorded merge outcome")
+	}
+	res := p.mergeResults[0]
+	p.mergeResults = p.mergeResults[1:]
+	if res.product.String() != pr.String() {
+		panic(fmt.Sprintf("microarch: PPM_INTERPRET product %v does not match recorded merge %v", pr, res.product))
+	}
+
+	value := res.corrected
+	// Byproduct-register reinterpretation plus the invert flag.
+	if !p.byproduct.Commutes(pr) {
+		value = !value
+	}
+	if in.Flags&isa.FlagInvert != 0 {
+		value = !value
+	}
+	p.M.MregFile[in.MregDst] = value
+	if in.Flags&isa.FlagCondStore != 0 {
+		if len(p.condSlots) == 0 {
+			p.pauliListReg = pr.Clone()
+		}
+		p.condSlots = append(p.condSlots, value)
+	}
+
+	p.M.Unit[UnitPDU].Ops++
+	p.M.Unit[UnitPDU].ActiveCycles += uint64(len(group))
+	p.M.Unit[UnitLMU].Ops++
+	p.M.Unit[UnitLMU].ActiveCycles += uint64(pr.Weight() + 1)
+	p.M.transfer(UnitPIU, UnitLMU, uint64(pr.Weight()*32))
+}
+
+func (p *Pipeline) execLQM(in isa.Instr) {
+	d := p.B.Code.D
+	angle := angleOf(in.Flags)
+	for _, t := range in.TargetLQs() {
+		var basis pauli.Pauli
+		switch in.Op {
+		case isa.LQMX:
+			basis = pauli.X
+		case isa.LQMZ:
+			basis = pauli.Z
+		case isa.LQMFM:
+			// Condition checker: the pi/8 protocol flips to the X basis
+			// when the interpreted PPM result (slot a) is -1.
+			if angle == ftqc.AnglePi8 && len(p.condSlots) > 0 && p.condSlots[0] {
+				basis = pauli.X
+			} else {
+				basis = pauli.Z
+			}
+			p.M.transfer(UnitLMU, UnitQID, 1) // fm_basis feedback
+		}
+
+		pr := pauli.NewProduct(p.nLQ)
+		pr.Ops[t.LQ] = basis
+		corrected, _, _ := p.B.MeasureProductDetail(pr, nil)
+		value := corrected
+		if !p.byproduct.Commutes(pr) {
+			value = !value
+		}
+		if in.Flags&isa.FlagInvert != 0 {
+			value = !value
+		}
+		p.M.MregFile[in.MregDst] = value
+		if in.Flags&isa.FlagCondStore != 0 {
+			p.condSlots = append(p.condSlots, value)
+		}
+
+		// Byproduct generation check: the machine-verified parity rules
+		// of internal/ftqc, evaluated over the condition slots
+		// (a, b, c) and this measurement's value.
+		if in.Flags&isa.FlagBPCheck != 0 {
+			if len(p.condSlots) < 4 {
+				panic("microarch: BPCheck with incomplete condition slots")
+			}
+			a, b, c := p.condSlots[0], p.condSlots[1], p.condSlots[2]
+			var bp bool
+			if angle == ftqc.AnglePi4 {
+				bp = a != c != value
+			} else if basis == pauli.X {
+				bp = b != c != value
+			} else {
+				bp = c != value
+			}
+			if bp {
+				for q, op := range p.pauliListReg.Ops {
+					p.byproduct.Ops[q] ^= op
+				}
+			}
+			p.condSlots = p.condSlots[:0]
+		}
+		if in.Flags&isa.FlagDiscard != 0 {
+			p.B.DiscardLogical(t.LQ)
+		}
+
+		// Data-qubit measurement traffic and LMU work.
+		p.psuStep(p.B.Code.PhysPerPatch())
+		p.M.transfer(UnitQCI, UnitLMU, uint64(d*d))
+		p.M.transfer(UnitPFU, UnitLMU, uint64(2*d*d))
+		p.M.Unit[UnitLMU].Ops++
+		p.M.Unit[UnitLMU].ActiveCycles += uint64(d + 2)
+		p.M.Unit[UnitPFU].Ops++
+		p.M.Unit[UnitPFU].ActiveCycles++
+	}
+	p.M.VirtualNs += p.Cfg.TMeasNs
+}

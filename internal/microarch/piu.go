@@ -1,0 +1,96 @@
+package microarch
+
+import (
+	"fmt"
+
+	"xqsim/internal/surface"
+)
+
+// PIUModel is the event-level model of the patch information unit
+// (Fig. 6b): the static and dynamic patch-information RAMs, the
+// pch_indexer that walks target lists one patch per cycle, and the
+// pchdyn_decoder that rewrites dynamic entries for merges and splits.
+//
+// The pipeline uses aggregate cycle accounting; this model exposes the
+// exact per-cycle behaviour for unit-level verification: updates touch
+// one patch per cycle, forwarding iterates the ESM_on (or merge_on) list
+// in patch order, and reads always return the most recent write.
+type PIUModel struct {
+	lattice *surface.Lattice
+	// Cycles accumulates the cycle count of every operation.
+	Cycles uint64
+	// Forwards counts pchinfo words forwarded to consumer units.
+	Forwards uint64
+}
+
+// NewPIUModel wraps a lattice.
+func NewPIUModel(l *surface.Lattice) *PIUModel {
+	return &PIUModel{lattice: l}
+}
+
+// UpdateMerge applies MERGE_INFO semantics: one cycle per target patch
+// (pch_indexer iterates, pchdyn_decoder rewrites, the RAM writes back).
+func (p *PIUModel) UpdateMerge(region []int) {
+	p.lattice.ApplyMerge(region)
+	p.Cycles += uint64(len(region))
+}
+
+// UpdateSplit applies SPLIT_INFO semantics.
+func (p *PIUModel) UpdateSplit(region []int) {
+	p.lattice.ApplySplit(region)
+	p.Cycles += uint64(len(region))
+}
+
+// ForwardESM walks the ESM_on list and returns the forwarded patch
+// information in pch_idx order, one patch per cycle (the RUN_ESM path
+// feeding the PSU's double-buffered shift register).
+func (p *PIUModel) ForwardESM() []surface.Patch {
+	var out []surface.Patch
+	for _, idx := range p.lattice.ActiveESMPatches() {
+		out = append(out, *p.lattice.Patch(idx))
+	}
+	p.Cycles += uint64(len(out))
+	p.Forwards += uint64(len(out))
+	return out
+}
+
+// ForwardMerged walks the merge_on list (the PPM_INTERPRET path feeding
+// the LMU).
+func (p *PIUModel) ForwardMerged() []surface.Patch {
+	var out []surface.Patch
+	for _, idx := range p.lattice.MergedPatches() {
+		out = append(out, *p.lattice.Patch(idx))
+	}
+	p.Cycles += uint64(len(out))
+	p.Forwards += uint64(len(out))
+	return out
+}
+
+// ReadInfo returns one patch's static+dynamic information (single-cycle
+// RAM read).
+func (p *PIUModel) ReadInfo(idx int) (surface.Static, surface.Dynamic) {
+	if idx < 0 || idx >= p.lattice.NumPatches() {
+		panic(fmt.Sprintf("microarch: patch %d out of range", idx))
+	}
+	p.Cycles++
+	pt := p.lattice.Patch(idx)
+	return pt.Static, pt.Dynamic
+}
+
+// MaskBits evaluates the PSU mask generator for one patch: given the
+// patch's dynamic information, it returns the participation mask over the
+// patch's stabilizer template (regular checks first, then the conditional
+// seam checks) — exactly the bits the AND array applies to the broadcast
+// codeword (Fig. 6c).
+func MaskBits(code surface.Code, dyn surface.Dynamic) []bool {
+	regs := code.Stabilizers()
+	conds := code.ConditionalStabilizers()
+	out := make([]bool, len(regs)+len(conds))
+	for i, st := range regs {
+		out[i] = surface.StabilizerActive(code, st, dyn)
+	}
+	for i, cs := range conds {
+		out[len(regs)+i] = surface.ConditionalActive(cs, dyn)
+	}
+	return out
+}

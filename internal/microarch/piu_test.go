@@ -1,0 +1,101 @@
+package microarch
+
+import (
+	"testing"
+
+	"xqsim/internal/surface"
+)
+
+func TestPIUModelCycleAccounting(t *testing.T) {
+	l := surface.NewLattice(1, 3, 3)
+	l.MapLogical(0, 0, surface.InitZero)
+	l.EnableESM(0)
+	l.MapLogical(1, 2, surface.InitZero)
+	l.EnableESM(2)
+	piu := NewPIUModel(l)
+
+	region, err := l.MergeRegion([]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	piu.UpdateMerge(region)
+	if piu.Cycles != uint64(len(region)) {
+		t.Fatalf("merge cycles = %d, want %d (one patch per cycle)", piu.Cycles, len(region))
+	}
+
+	fwd := piu.ForwardESM()
+	if len(fwd) != 3 {
+		t.Fatalf("forwarded %d patches during merge, want 3", len(fwd))
+	}
+	merged := piu.ForwardMerged()
+	if len(merged) != 3 {
+		t.Fatalf("merged list = %d", len(merged))
+	}
+	want := uint64(len(region)) + 3 + 3
+	if piu.Cycles != want {
+		t.Fatalf("cycles = %d, want %d", piu.Cycles, want)
+	}
+
+	piu.UpdateSplit(region)
+	if got := piu.ForwardMerged(); len(got) != 0 {
+		t.Fatalf("merge_on list not cleared: %d", len(got))
+	}
+	// Reads reflect the split immediately.
+	_, dyn := piu.ReadInfo(1)
+	if dyn.ESMOn {
+		t.Fatal("intermediate patch still ESM-on after split")
+	}
+}
+
+func TestPIUReadOutOfRangePanics(t *testing.T) {
+	piu := NewPIUModel(surface.NewLattice(1, 2, 3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	piu.ReadInfo(99)
+}
+
+func TestMaskBitsMatchBackendParticipation(t *testing.T) {
+	// The mask generator's bits must agree with what the backend actually
+	// measures: regular checks on for a static patch, seam checks only
+	// when a side is Z&X.
+	code := surface.NewCode(3)
+	l := surface.NewLattice(1, 3, 3)
+	l.MapLogical(0, 0, surface.InitZero)
+	l.EnableESM(0)
+
+	dyn := l.Patch(0).Dynamic
+	bits := MaskBits(code, dyn)
+	regs := len(code.Stabilizers())
+	for i := 0; i < regs; i++ {
+		if !bits[i] {
+			t.Fatalf("regular check %d masked off in static config", i)
+		}
+	}
+	for i := regs; i < len(bits); i++ {
+		if bits[i] {
+			t.Fatalf("seam check %d on without a merge", i-regs)
+		}
+	}
+
+	// Merge to the right: right-side seam checks turn on.
+	l.MapLogical(1, 2, surface.InitZero)
+	l.EnableESM(2)
+	region, _ := l.MergeRegion([]int{0, 2})
+	l.ApplyMerge(region)
+	bits = MaskBits(code, l.Patch(0).Dynamic)
+	onSeam := 0
+	for i, cs := range code.ConditionalStabilizers() {
+		if bits[regs+i] {
+			onSeam++
+			if cs.Side != surface.Right {
+				t.Fatalf("non-right seam check at %v active", cs.Anc)
+			}
+		}
+	}
+	if onSeam == 0 {
+		t.Fatal("no seam checks activated by the merge")
+	}
+}

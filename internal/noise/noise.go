@@ -1,0 +1,87 @@
+// Package noise implements the Pauli error model driving the noisy
+// simulations: independent X and Z flips on data qubits each ESM round and
+// measurement-result flips, all at the configured physical error rate
+// (the phenomenological Pauli model of Tomita & Svore used by the paper's
+// validation flow).
+//
+// Sampling is sparse: instead of drawing one random number per qubit per
+// round, geometric skipping draws only as many numbers as there are
+// errors, which keeps the cost proportional to the (low) error density
+// even at 10+K-qubit scale.
+package noise
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Model is a sparse Bernoulli sampler with a fixed per-site probability.
+type Model struct {
+	P   float64
+	rng *rand.Rand
+	// lnq caches ln(1-p) for geometric skipping.
+	lnq float64
+}
+
+// NewModel returns a sampler with per-site error probability p.
+func NewModel(p float64, seed int64) *Model {
+	if p < 0 || p >= 1 {
+		panic("noise: probability out of range")
+	}
+	m := &Model{P: p, rng: rand.New(rand.NewSource(seed))}
+	if p > 0 {
+		m.lnq = math.Log(1 - p)
+	}
+	return m
+}
+
+// SampleSites returns the indices in [0, n) hit by an error this round,
+// in increasing order. The expected cost is O(n*p + 1).
+func (m *Model) SampleSites(n int) []int {
+	if m.P == 0 || n == 0 {
+		return nil
+	}
+	var out []int
+	// Geometric skipping: the gap to the next hit is floor(ln U / ln(1-p)).
+	i := m.skip()
+	for i < n {
+		out = append(out, i)
+		i += 1 + m.skip()
+	}
+	return out
+}
+
+// Hit samples a single Bernoulli trial.
+func (m *Model) Hit() bool {
+	return m.P > 0 && m.rng.Float64() < m.P
+}
+
+// CountHits samples Binomial(n, p) sparsely (returns only the count).
+func (m *Model) CountHits(n int) int {
+	if m.P == 0 || n == 0 {
+		return 0
+	}
+	count := 0
+	i := m.skip()
+	for i < n {
+		count++
+		i += 1 + m.skip()
+	}
+	return count
+}
+
+func (m *Model) skip() int {
+	u := m.rng.Float64()
+	for u == 0 {
+		u = m.rng.Float64()
+	}
+	g := math.Log(u) / m.lnq
+	if g > 1<<30 {
+		return 1 << 30
+	}
+	return int(g)
+}
+
+// Rand exposes the model's RNG for correlated auxiliary draws (e.g. which
+// Pauli hit a site).
+func (m *Model) Rand() *rand.Rand { return m.rng }

@@ -1,0 +1,256 @@
+package stab
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xqsim/internal/pauli"
+)
+
+// OpKind enumerates circuit-IR operations.
+type OpKind int
+
+// Circuit operations.
+const (
+	OpH OpKind = iota
+	OpS
+	OpCX
+	OpCZ
+	OpX
+	OpY
+	OpZ
+	OpMeasureZ // records one outcome bit
+	OpReset
+	// OpDepolarize1 applies X, Y or Z with probability p/3 each.
+	OpDepolarize1
+	// OpFlipX / OpFlipZ apply the Pauli with probability p.
+	OpFlipX
+	OpFlipZ
+)
+
+// Op is one circuit operation.
+type Op struct {
+	Kind OpKind
+	A, B int     // qubits (B for two-qubit gates)
+	P    float64 // noise probability
+}
+
+// Circuit is a Clifford circuit with Pauli noise channels — the
+// stabilizer-circuit IR of our Stim substitute.
+type Circuit struct {
+	N   int
+	Ops []Op
+}
+
+// NewCircuit returns an empty circuit over n qubits.
+func NewCircuit(n int) *Circuit { return &Circuit{N: n} }
+
+func (c *Circuit) check(q int) {
+	if q < 0 || q >= c.N {
+		panic(fmt.Sprintf("stab: qubit %d out of range", q))
+	}
+}
+
+// H appends a Hadamard.
+func (c *Circuit) H(q int) *Circuit { c.check(q); c.Ops = append(c.Ops, Op{Kind: OpH, A: q}); return c }
+
+// S appends a phase gate.
+func (c *Circuit) S(q int) *Circuit { c.check(q); c.Ops = append(c.Ops, Op{Kind: OpS, A: q}); return c }
+
+// CX appends a controlled-X.
+func (c *Circuit) CX(a, b int) *Circuit {
+	c.check(a)
+	c.check(b)
+	c.Ops = append(c.Ops, Op{Kind: OpCX, A: a, B: b})
+	return c
+}
+
+// CZ appends a controlled-Z.
+func (c *Circuit) CZ(a, b int) *Circuit {
+	c.check(a)
+	c.check(b)
+	c.Ops = append(c.Ops, Op{Kind: OpCZ, A: a, B: b})
+	return c
+}
+
+// X appends a Pauli X.
+func (c *Circuit) X(q int) *Circuit { c.check(q); c.Ops = append(c.Ops, Op{Kind: OpX, A: q}); return c }
+
+// MeasureZ appends a Z-basis measurement.
+func (c *Circuit) MeasureZ(q int) *Circuit {
+	c.check(q)
+	c.Ops = append(c.Ops, Op{Kind: OpMeasureZ, A: q})
+	return c
+}
+
+// Reset appends a |0> reset.
+func (c *Circuit) Reset(q int) *Circuit {
+	c.check(q)
+	c.Ops = append(c.Ops, Op{Kind: OpReset, A: q})
+	return c
+}
+
+// Depolarize1 appends single-qubit depolarizing noise.
+func (c *Circuit) Depolarize1(q int, p float64) *Circuit {
+	c.check(q)
+	c.Ops = append(c.Ops, Op{Kind: OpDepolarize1, A: q, P: p})
+	return c
+}
+
+// FlipX appends an X-flip channel.
+func (c *Circuit) FlipX(q int, p float64) *Circuit {
+	c.check(q)
+	c.Ops = append(c.Ops, Op{Kind: OpFlipX, A: q, P: p})
+	return c
+}
+
+// FlipZ appends a Z-flip channel.
+func (c *Circuit) FlipZ(q int, p float64) *Circuit {
+	c.check(q)
+	c.Ops = append(c.Ops, Op{Kind: OpFlipZ, A: q, P: p})
+	return c
+}
+
+// Measurements counts measurement operations.
+func (c *Circuit) Measurements() int {
+	n := 0
+	for _, op := range c.Ops {
+		if op.Kind == OpMeasureZ {
+			n++
+		}
+	}
+	return n
+}
+
+// SimulateTableau runs the circuit once on the full tableau (noise
+// channels sampled with the given seed) and returns the measurement
+// record.
+func (c *Circuit) SimulateTableau(seed int64) []bool {
+	t := New(c.N, seed)
+	rng := rand.New(rand.NewSource(seed + 0x9e3779b9))
+	var rec []bool
+	for _, op := range c.Ops {
+		switch op.Kind {
+		case OpH:
+			t.H(op.A)
+		case OpS:
+			t.S(op.A)
+		case OpCX:
+			t.CX(op.A, op.B)
+		case OpCZ:
+			t.CZ(op.A, op.B)
+		case OpX:
+			t.X(op.A)
+		case OpY:
+			t.Y(op.A)
+		case OpZ:
+			t.Z(op.A)
+		case OpMeasureZ:
+			out, _ := t.MeasureZ(op.A)
+			rec = append(rec, out)
+		case OpReset:
+			t.Reset(op.A)
+		case OpDepolarize1:
+			if rng.Float64() < op.P {
+				t.ApplyPauli(op.A, pauli.Pauli(1+rng.Intn(3)))
+			}
+		case OpFlipX:
+			if rng.Float64() < op.P {
+				t.X(op.A)
+			}
+		case OpFlipZ:
+			if rng.Float64() < op.P {
+				t.Z(op.A)
+			}
+		}
+	}
+	return rec
+}
+
+// FrameSampler is the fast batch sampler: one noiseless tableau run fixes
+// the reference record (random measurement outcomes included); per-shot
+// noise then propagates as a Pauli frame in O(ops) bit work per shot,
+// flipping reference outcomes where the frame anticommutes with the
+// measurement. This is the decomposition Stim uses for noisy sampling —
+// correct for circuits whose measurement randomness does not feed back
+// into the gate sequence.
+type FrameSampler struct {
+	c   *Circuit
+	ref []bool
+	rng *rand.Rand
+}
+
+// NewFrameSampler builds the sampler (runs the reference simulation).
+func NewFrameSampler(c *Circuit, seed int64) *FrameSampler {
+	noiseless := &Circuit{N: c.N}
+	for _, op := range c.Ops {
+		switch op.Kind {
+		case OpDepolarize1, OpFlipX, OpFlipZ:
+		default:
+			noiseless.Ops = append(noiseless.Ops, op)
+		}
+	}
+	return &FrameSampler{
+		c:   c,
+		ref: noiseless.SimulateTableau(seed),
+		rng: rand.New(rand.NewSource(seed + 1)),
+	}
+}
+
+// Reference returns the noiseless reference record.
+func (fs *FrameSampler) Reference() []bool { return append([]bool(nil), fs.ref...) }
+
+// Sample draws one shot's measurement record by frame propagation.
+func (fs *FrameSampler) Sample() []bool {
+	frame := pauli.NewFrame(fs.c.N)
+	rec := make([]bool, 0, len(fs.ref))
+	mi := 0
+	for _, op := range fs.c.Ops {
+		switch op.Kind {
+		case OpH:
+			frame.ConjugateByGate("H", op.A, -1)
+		case OpS:
+			frame.ConjugateByGate("S", op.A, -1)
+		case OpCX:
+			frame.ConjugateByGate("CX", op.A, op.B)
+		case OpCZ:
+			frame.ConjugateByGate("CZ", op.A, op.B)
+		case OpX, OpY, OpZ:
+			// Deterministic Paulis are part of the reference.
+		case OpMeasureZ:
+			out := fs.ref[mi]
+			if frame.FlipsMeasurement(op.A, pauli.Z) {
+				out = !out
+			}
+			rec = append(rec, out)
+			mi++
+			// Measurement discards the qubit's phase freedom: the Z
+			// component of the frame is absorbed.
+			frame.Ops[op.A] &= pauli.X
+		case OpReset:
+			frame.Ops[op.A] = pauli.I
+		case OpDepolarize1:
+			if fs.rng.Float64() < op.P {
+				frame.Update(op.A, pauli.Pauli(1+fs.rng.Intn(3)))
+			}
+		case OpFlipX:
+			if fs.rng.Float64() < op.P {
+				frame.Update(op.A, pauli.X)
+			}
+		case OpFlipZ:
+			if fs.rng.Float64() < op.P {
+				frame.Update(op.A, pauli.Z)
+			}
+		}
+	}
+	return rec
+}
+
+// SampleBatch draws n shots.
+func (fs *FrameSampler) SampleBatch(n int) [][]bool {
+	out := make([][]bool, n)
+	for i := range out {
+		out[i] = fs.Sample()
+	}
+	return out
+}

@@ -1,0 +1,402 @@
+// Package stab implements a bit-packed stabilizer-circuit simulator in the
+// style of Aaronson & Gottesman's CHP algorithm, extended with direct
+// measurement of arbitrary Pauli products.
+//
+// It substitutes for Stim in the paper's validation flow: the XQ-simulator
+// forwards the control processor's output operations to this engine, which
+// tracks the ideal (noiseless) quantum state; injected Pauli errors are
+// propagated separately by internal/noise as Pauli frames, which is the same
+// decomposition Stim uses for fast noisy sampling.
+//
+// The simulator stores 2n+1 rows (n destabilizers, n stabilizers, and one
+// scratch row) of X/Z bit-vectors packed 64 per word, plus a sign bit per
+// row. All Clifford operations are O(n) words; measurements are O(n^2/64).
+package stab
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"xqsim/internal/pauli"
+)
+
+// Tableau is the stabilizer tableau of an n-qubit state.
+type Tableau struct {
+	n     int
+	words int // words per bit-row
+	// x[r] and z[r] are the X/Z bit-vectors of row r. Rows 0..n-1 are
+	// destabilizers, rows n..2n-1 are stabilizers, row 2n is scratch.
+	x [][]uint64
+	z [][]uint64
+	// r[row] is the sign: 0 => +1, 1 => -1 (phases stay real for
+	// stabilizer rows; the intermediate 2-bit phase lives in rowsum).
+	r   []uint8
+	rng *rand.Rand
+}
+
+// New returns an n-qubit tableau initialized to |0...0>.
+func New(n int, seed int64) *Tableau {
+	if n <= 0 {
+		panic("stab: non-positive qubit count")
+	}
+	w := (n + 63) / 64
+	t := &Tableau{
+		n:     n,
+		words: w,
+		x:     make([][]uint64, 2*n+1),
+		z:     make([][]uint64, 2*n+1),
+		r:     make([]uint8, 2*n+1),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	for i := range t.x {
+		t.x[i] = make([]uint64, w)
+		t.z[i] = make([]uint64, w)
+	}
+	for i := 0; i < n; i++ {
+		t.setX(i, i, true)   // destabilizer i = X_i
+		t.setZ(n+i, i, true) // stabilizer i = Z_i
+	}
+	return t
+}
+
+// N returns the number of qubits.
+func (t *Tableau) N() int { return t.n }
+
+func (t *Tableau) getX(row, q int) bool { return t.x[row][q>>6]>>(uint(q)&63)&1 != 0 }
+func (t *Tableau) getZ(row, q int) bool { return t.z[row][q>>6]>>(uint(q)&63)&1 != 0 }
+
+func (t *Tableau) setX(row, q int, v bool) {
+	if v {
+		t.x[row][q>>6] |= 1 << (uint(q) & 63)
+	} else {
+		t.x[row][q>>6] &^= 1 << (uint(q) & 63)
+	}
+}
+
+func (t *Tableau) setZ(row, q int, v bool) {
+	if v {
+		t.z[row][q>>6] |= 1 << (uint(q) & 63)
+	} else {
+		t.z[row][q>>6] &^= 1 << (uint(q) & 63)
+	}
+}
+
+// H applies a Hadamard gate to qubit q.
+func (t *Tableau) H(q int) {
+	w, b := q>>6, uint64(1)<<(uint(q)&63)
+	for row := 0; row < 2*t.n; row++ {
+		xr, zr := t.x[row][w]&b, t.z[row][w]&b
+		if xr != 0 && zr != 0 {
+			t.r[row] ^= 1
+		}
+		// Swap x and z bits.
+		if (xr != 0) != (zr != 0) {
+			t.x[row][w] ^= b
+			t.z[row][w] ^= b
+		}
+	}
+}
+
+// S applies a phase gate to qubit q.
+func (t *Tableau) S(q int) {
+	w, b := q>>6, uint64(1)<<(uint(q)&63)
+	for row := 0; row < 2*t.n; row++ {
+		xr, zr := t.x[row][w]&b, t.z[row][w]&b
+		if xr != 0 && zr != 0 {
+			t.r[row] ^= 1
+		}
+		if xr != 0 {
+			t.z[row][w] ^= b
+		}
+	}
+}
+
+// CX applies a controlled-X gate with control c and target g.
+func (t *Tableau) CX(c, g int) {
+	cw, cb := c>>6, uint64(1)<<(uint(c)&63)
+	gw, gb := g>>6, uint64(1)<<(uint(g)&63)
+	for row := 0; row < 2*t.n; row++ {
+		xc := t.x[row][cw]&cb != 0
+		zc := t.z[row][cw]&cb != 0
+		xg := t.x[row][gw]&gb != 0
+		zg := t.z[row][gw]&gb != 0
+		if xc && zg && (xg == zc) {
+			t.r[row] ^= 1
+		}
+		if xc {
+			t.x[row][gw] ^= gb
+		}
+		if zg {
+			t.z[row][cw] ^= cb
+		}
+	}
+}
+
+// CZ applies a controlled-Z gate between qubits a and b.
+func (t *Tableau) CZ(a, b int) {
+	t.H(b)
+	t.CX(a, b)
+	t.H(b)
+}
+
+// X applies a Pauli X to qubit q (flips signs of rows with a Z component).
+func (t *Tableau) X(q int) {
+	w, b := q>>6, uint64(1)<<(uint(q)&63)
+	for row := 0; row < 2*t.n; row++ {
+		if t.z[row][w]&b != 0 {
+			t.r[row] ^= 1
+		}
+	}
+}
+
+// Z applies a Pauli Z to qubit q.
+func (t *Tableau) Z(q int) {
+	w, b := q>>6, uint64(1)<<(uint(q)&63)
+	for row := 0; row < 2*t.n; row++ {
+		if t.x[row][w]&b != 0 {
+			t.r[row] ^= 1
+		}
+	}
+}
+
+// Y applies a Pauli Y to qubit q.
+func (t *Tableau) Y(q int) { t.X(q); t.Z(q) }
+
+// ApplyPauli applies the single-qubit Pauli p to qubit q.
+func (t *Tableau) ApplyPauli(q int, p pauli.Pauli) {
+	switch p {
+	case pauli.X:
+		t.X(q)
+	case pauli.Z:
+		t.Z(q)
+	case pauli.Y:
+		t.Y(q)
+	}
+}
+
+// rowsum implements the CHP "rowsum(h, i)" operation: row h *= row i,
+// with exact phase tracking. The phase function g is evaluated wordwise
+// using the closed form: for each qubit, g in {-1,0,1} is accumulated;
+// the total must be 0 mod 4 for +, 2 mod 4 for -.
+func (t *Tableau) rowsum(h, i int) {
+	var acc uint32 // 2*r_h + 2*r_i + sum g, mod 4
+	acc = uint32(2*t.r[h] + 2*t.r[i])
+	xh, zh := t.x[h], t.z[h]
+	xi, zi := t.x[i], t.z[i]
+	for w := 0; w < t.words; w++ {
+		x1, z1 := xi[w], zi[w]
+		x2, z2 := xh[w], zh[w]
+		// For each bit position, g(x1,z1,x2,z2):
+		//   (x1,z1)=(0,0): 0
+		//   (1,1): z2 - x2
+		//   (1,0): z2*(2*x2-1)
+		//   (0,1): x2*(1-2*z2)
+		// We accumulate mod 4, so count +1 and -1 contributions.
+		// +1 cases: (1,1)&z2&~x2 | (1,0)&z2&x2 | (0,1)&x2&~z2
+		plus := (x1 & z1 & z2 &^ x2) | (x1 &^ z1 & z2 & x2) | (z1 &^ x1 & x2 &^ z2)
+		// -1 cases: (1,1)&x2&~z2 | (1,0)&z2&~x2... wait (1,0): z2*(2x2-1) = -1 when z2=1,x2=0
+		minus := (x1 & z1 & x2 &^ z2) | (x1 &^ z1 & z2 &^ x2) | (z1 &^ x1 & x2 & z2)
+		acc += uint32(bits.OnesCount64(plus))
+		acc += 3 * uint32(bits.OnesCount64(minus)) // -1 == +3 mod 4
+		xh[w] ^= x1
+		zh[w] ^= z1
+	}
+	// For stabilizer and scratch rows the accumulated phase is always real
+	// (0 or 2 mod 4). Destabilizer-row updates may produce an imaginary
+	// phase, but destabilizer signs are never consumed, so we just keep the
+	// top bit in that case too.
+	t.r[h] = uint8((acc >> 1) & 1)
+}
+
+// loadScratch sets the scratch row (index 2n) to the given Pauli product
+// with sign (+1 if sign==0, -1 if sign==1). qubits and ops run in parallel.
+func (t *Tableau) loadScratch(qubits []int, ops []pauli.Pauli, sign uint8) {
+	s := 2 * t.n
+	for w := 0; w < t.words; w++ {
+		t.x[s][w] = 0
+		t.z[s][w] = 0
+	}
+	t.r[s] = sign
+	for k, q := range qubits {
+		if q < 0 || q >= t.n {
+			panic(fmt.Sprintf("stab: qubit %d out of range", q))
+		}
+		if ops[k].XBit() {
+			t.setX(s, q, true)
+		}
+		if ops[k].ZBit() {
+			t.setZ(s, q, true)
+		}
+	}
+}
+
+// anticommutesWithRow reports whether the Pauli product (qubits, ops)
+// anticommutes with tableau row `row`.
+func (t *Tableau) anticommutesWithRow(row int, qubits []int, ops []pauli.Pauli) bool {
+	anti := 0
+	for k, q := range qubits {
+		p := ops[k]
+		if p == pauli.I {
+			continue
+		}
+		rp := pauli.FromBits(t.getX(row, q), t.getZ(row, q))
+		if !rp.Commutes(p) {
+			anti++
+		}
+	}
+	return anti%2 == 1
+}
+
+// MeasureProduct measures the Pauli product defined by parallel slices
+// qubits/ops and returns the outcome bit (false => +1 eigenvalue) and
+// whether the outcome was deterministic. Identity factors are allowed.
+// Measuring the empty product returns (false, true).
+func (t *Tableau) MeasureProduct(qubits []int, ops []pauli.Pauli) (bool, bool) {
+	if len(qubits) != len(ops) {
+		panic("stab: qubits/ops length mismatch")
+	}
+	// Find first stabilizer row anticommuting with the product.
+	p := -1
+	for row := t.n; row < 2*t.n; row++ {
+		if t.anticommutesWithRow(row, qubits, ops) {
+			p = row
+			break
+		}
+	}
+	if p >= 0 {
+		// Random outcome. Every other anticommuting row (destabilizer or
+		// stabilizer) is multiplied by row p to restore commutation.
+		for row := 0; row < 2*t.n; row++ {
+			if row != p && t.anticommutesWithRow(row, qubits, ops) {
+				t.rowsum(row, p)
+			}
+		}
+		// Destabilizer for the new stabilizer is the old row p.
+		d := p - t.n
+		copy(t.x[d], t.x[p])
+		copy(t.z[d], t.z[p])
+		t.r[d] = t.r[p]
+		// New stabilizer = +/- the measured product.
+		outcome := t.rng.Intn(2) == 1
+		var sign uint8
+		if outcome {
+			sign = 1
+		}
+		for w := 0; w < t.words; w++ {
+			t.x[p][w] = 0
+			t.z[p][w] = 0
+		}
+		t.r[p] = sign
+		for k, q := range qubits {
+			if ops[k].XBit() {
+				t.setX(p, q, true)
+			}
+			if ops[k].ZBit() {
+				t.setZ(p, q, true)
+			}
+		}
+		return outcome, false
+	}
+	// Deterministic outcome: accumulate stabilizer rows whose destabilizer
+	// partners anticommute with the product.
+	s := 2 * t.n
+	for w := 0; w < t.words; w++ {
+		t.x[s][w] = 0
+		t.z[s][w] = 0
+	}
+	t.r[s] = 0
+	for row := 0; row < t.n; row++ {
+		if t.anticommutesWithRow(row, qubits, ops) {
+			t.rowsum(s, row+t.n)
+		}
+	}
+	return t.r[s] == 1, true
+}
+
+// MeasureZ measures qubit q in the Z basis.
+func (t *Tableau) MeasureZ(q int) (bool, bool) {
+	return t.MeasureProduct([]int{q}, []pauli.Pauli{pauli.Z})
+}
+
+// Reset measures qubit q in the Z basis and flips it to |0> if needed.
+func (t *Tableau) Reset(q int) {
+	out, _ := t.MeasureZ(q)
+	if out {
+		t.X(q)
+	}
+}
+
+// ExpectProduct returns the deterministic expectation of the product if the
+// state is an eigenstate: +1, -1, or 0 when the outcome would be random.
+// The state is not modified.
+func (t *Tableau) ExpectProduct(qubits []int, ops []pauli.Pauli) int {
+	for row := t.n; row < 2*t.n; row++ {
+		if t.anticommutesWithRow(row, qubits, ops) {
+			return 0
+		}
+	}
+	s := 2 * t.n
+	for w := 0; w < t.words; w++ {
+		t.x[s][w] = 0
+		t.z[s][w] = 0
+	}
+	t.r[s] = 0
+	for row := 0; row < t.n; row++ {
+		if t.anticommutesWithRow(row, qubits, ops) {
+			t.rowsum(s, row+t.n)
+		}
+	}
+	if t.r[s] == 1 {
+		return -1
+	}
+	return 1
+}
+
+// StabilizerRow returns stabilizer generator i (0<=i<n) as a Pauli product
+// over all n qubits, with Phase 0 (+) or 2 (-).
+func (t *Tableau) StabilizerRow(i int) pauli.Product {
+	row := t.n + i
+	pr := pauli.NewProduct(t.n)
+	for q := 0; q < t.n; q++ {
+		pr.Ops[q] = pauli.FromBits(t.getX(row, q), t.getZ(row, q))
+	}
+	if t.r[row] == 1 {
+		pr.Phase = 2
+	}
+	return pr
+}
+
+// CheckInvariants verifies the tableau's internal consistency: all
+// stabilizer rows commute pairwise, destabilizer i anticommutes with
+// stabilizer i and commutes with all other stabilizers. It returns an
+// error describing the first violation, or nil. Intended for tests.
+func (t *Tableau) CheckInvariants() error {
+	rowProd := func(row int) ([]int, []pauli.Pauli) {
+		var qs []int
+		var ops []pauli.Pauli
+		for q := 0; q < t.n; q++ {
+			p := pauli.FromBits(t.getX(row, q), t.getZ(row, q))
+			if p != pauli.I {
+				qs = append(qs, q)
+				ops = append(ops, p)
+			}
+		}
+		return qs, ops
+	}
+	for i := 0; i < t.n; i++ {
+		qi, oi := rowProd(t.n + i)
+		for j := i + 1; j < t.n; j++ {
+			if t.anticommutesWithRow(t.n+j, qi, oi) {
+				return fmt.Errorf("stabilizers %d and %d anticommute", i, j)
+			}
+		}
+		for j := 0; j < t.n; j++ {
+			anti := t.anticommutesWithRow(j, qi, oi)
+			if (i == j) != anti {
+				return fmt.Errorf("destabilizer %d vs stabilizer %d: anticommute=%v", j, i, anti)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package surface
+
+import (
+	"xqsim/internal/pauli"
+	"xqsim/internal/stab"
+)
+
+// ESMCircuit builds the explicit gate-level syndrome-extraction circuit
+// of one patch for the given number of rounds: per round, ancilla resets,
+// Hadamards on X-plaquette ancillas, the four CZ/CX entangling layers in
+// schedule order (CZTarget), closing Hadamards, and ancilla measurements.
+//
+// Qubit numbering: data qubits first (d*d, row-major), then one ancilla
+// per stabilizer in Stabilizers() order. The measurement record contains
+// rounds * len(stabs) ancilla outcomes, round-major.
+//
+// With depolarizing noise after every two-qubit gate and flip noise on
+// measurements this is the circuit-level counterpart of the simulator's
+// phenomenological model; TestESMCircuitNoiseBridge checks that the two
+// produce syndrome densities of the same order, the standard
+// phenomenological-vs-circuit-level relation of Tomita & Svore.
+func (c Code) ESMCircuit(rounds int, p2q, pMeas float64) *stab.Circuit {
+	stabs := c.Stabilizers()
+	n := c.D*c.D + len(stabs)
+	circ := stab.NewCircuit(n)
+	anc := func(i int) int { return c.D*c.D + i }
+	data := func(q Coord) int { return c.DataIndex(q) }
+
+	for r := 0; r < rounds; r++ {
+		for i := range stabs {
+			circ.Reset(anc(i))
+		}
+		for i, st := range stabs {
+			if st.Basis == pauli.X {
+				circ.H(anc(i))
+			}
+		}
+		for k := 0; k < 4; k++ {
+			for i, st := range stabs {
+				q, ok := c.CZTarget(st, k)
+				if !ok {
+					continue
+				}
+				if st.Basis == pauli.X {
+					circ.CX(anc(i), data(q))
+				} else {
+					circ.CX(data(q), anc(i))
+				}
+				if p2q > 0 {
+					circ.Depolarize1(anc(i), p2q)
+					circ.Depolarize1(data(q), p2q)
+				}
+			}
+		}
+		for i, st := range stabs {
+			if st.Basis == pauli.X {
+				circ.H(anc(i))
+			}
+		}
+		for i := range stabs {
+			if pMeas > 0 {
+				circ.FlipX(anc(i), pMeas)
+			}
+			circ.MeasureZ(anc(i))
+		}
+	}
+	return circ
+}
+
+// SyndromeDensity samples the ESM circuit and returns the fraction of
+// non-trivial detection events (outcome changes between consecutive
+// rounds) per ancilla per round after the first round.
+func (c Code) SyndromeDensity(rounds, shots int, p2q, pMeas float64, seed int64) float64 {
+	stabs := len(c.Stabilizers())
+	circ := c.ESMCircuit(rounds, p2q, pMeas)
+	fs := stab.NewFrameSampler(circ, seed)
+	events, total := 0, 0
+	for s := 0; s < shots; s++ {
+		rec := fs.Sample()
+		for r := 1; r < rounds; r++ {
+			for i := 0; i < stabs; i++ {
+				if rec[r*stabs+i] != rec[(r-1)*stabs+i] {
+					events++
+				}
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(events) / float64(total)
+}

@@ -1,0 +1,90 @@
+package surface
+
+import (
+	"testing"
+
+	"xqsim/internal/stab"
+)
+
+func TestESMCircuitNoiselessDeterministic(t *testing.T) {
+	// With no noise, detection events never fire after the first round:
+	// stabilizer outcomes repeat exactly.
+	c := NewCode(3)
+	if density := c.SyndromeDensity(4, 20, 0, 0, 1); density != 0 {
+		t.Fatalf("noiseless detection density = %v, want 0", density)
+	}
+}
+
+func TestESMCircuitStructure(t *testing.T) {
+	c := NewCode(3)
+	rounds := 3
+	circ := c.ESMCircuit(rounds, 0.001, 0.001)
+	stabs := len(c.Stabilizers())
+	if circ.Measurements() != rounds*stabs {
+		t.Fatalf("measurements = %d, want %d", circ.Measurements(), rounds*stabs)
+	}
+	if circ.N != c.DataQubits()+stabs {
+		t.Fatalf("qubits = %d", circ.N)
+	}
+}
+
+func TestESMCircuitNoiseBridge(t *testing.T) {
+	// Circuit-level depolarizing noise must produce detection-event
+	// densities of the same order as the phenomenological rate the
+	// backend uses: with p per CX endpoint and per measurement, each
+	// ancilla sees O(10) fault locations per round, so the density should
+	// sit within [2p, 30p] (Tomita & Svore's regime).
+	c := NewCode(5)
+	p := 0.002
+	density := c.SyndromeDensity(6, 150, p, p, 7)
+	if density < 2*p || density > 30*p {
+		t.Fatalf("circuit-level detection density %v out of the phenomenological regime for p=%v", density, p)
+	}
+}
+
+func TestESMCircuitDetectsInjectedError(t *testing.T) {
+	// A deterministic X error on a data qubit between rounds must flip
+	// the adjacent Z-plaquette outcomes from the next round on. Build two
+	// rounds, injecting via a certain X-flip channel placed mid-circuit:
+	// easiest construction — run one noiseless round, then append X and a
+	// second round.
+	c := NewCode(3)
+	stabs := c.Stabilizers()
+	one := c.ESMCircuit(1, 0, 0)
+	// Append: X on data (1,1), then round 2 operations (rebuild manually
+	// by generating a fresh 2-round circuit with a flip channel at p=1 in
+	// between is not expressible; instead compare two 2-round circuits).
+	_ = one
+	base := c.ESMCircuit(2, 0, 0)
+	rec0 := stab.NewFrameSampler(base, 3).Sample()
+
+	injected := c.ESMCircuit(1, 0, 0)
+	injected.X(c.DataIndex(Coord{Row: 1, Col: 1}))
+	// Second round: regenerate by appending the ops of a 1-round circuit.
+	second := c.ESMCircuit(1, 0, 0)
+	injected.Ops = append(injected.Ops, second.Ops...)
+	rec1 := stab.NewFrameSampler(injected, 3).Sample()
+
+	flipped := 0
+	for i, st := range stabs {
+		if rec0[len(stabs)+i] == rec1[len(stabs)+i] {
+			continue
+		}
+		flipped++
+		// Only plaquettes adjacent to (1,1) may flip.
+		adjacent := false
+		for _, q := range st.Data {
+			if q == (Coord{Row: 1, Col: 1}) {
+				adjacent = true
+			}
+		}
+		if !adjacent {
+			t.Fatalf("non-adjacent plaquette %v flipped", st.Anc)
+		}
+	}
+	// An X error flips exactly the adjacent Z-plaquettes (two of them for
+	// the interior qubit (1,1) at d=3).
+	if flipped != 2 {
+		t.Fatalf("flipped plaquettes = %d, want 2", flipped)
+	}
+}

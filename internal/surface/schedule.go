@@ -1,0 +1,132 @@
+package surface
+
+import "xqsim/internal/pauli"
+
+// ESMStep is one slot of the error-syndrome-measurement schedule.
+type ESMStep int
+
+// The eight schedule steps of one ESM round (Fig. 2(b)/(c)): ancilla
+// reset, the opening Hadamard layer, four entangling layers, the closing
+// Hadamard layer, and measurement. The physical schedule unit walks this
+// sequence, emitting one codeword array per step.
+const (
+	StepReset ESMStep = iota
+	StepHadamard1
+	StepCZ1
+	StepCZ2
+	StepCZ3
+	StepCZ4
+	StepHadamard2
+	StepMeasure
+	NumESMSteps
+)
+
+// String names the step.
+func (s ESMStep) String() string {
+	switch s {
+	case StepReset:
+		return "reset"
+	case StepHadamard1:
+		return "H1"
+	case StepCZ1, StepCZ2, StepCZ3, StepCZ4:
+		return "cz" + string(rune('1'+int(s-StepCZ1)))
+	case StepHadamard2:
+		return "H2"
+	case StepMeasure:
+		return "measure"
+	}
+	return "?"
+}
+
+// GateLatencyClass tells the time-control unit which Table-4 latency the
+// step consumes.
+type GateLatencyClass int
+
+// Latency classes.
+const (
+	Latency1Q GateLatencyClass = iota
+	Latency2Q
+	LatencyMeas
+)
+
+// LatencyClass returns the step's latency class.
+func (s ESMStep) LatencyClass() GateLatencyClass {
+	switch s {
+	case StepCZ1, StepCZ2, StepCZ3, StepCZ4:
+		return Latency2Q
+	case StepMeasure:
+		return LatencyMeas
+	default:
+		return Latency1Q
+	}
+}
+
+// CZTarget returns the data qubit an ancilla plaquette entangles with at
+// entangling layer k (0..3), or ok=false when the plaquette has no
+// neighbor in that direction (boundary plaquettes skip those layers).
+//
+// The interaction order avoids hook errors by traversing the plaquette's
+// corners in an N shape for X-type stabilizers and a Z shape for Z-type
+// stabilizers (Fig. 2(b)/(c)): the two orders are mutually transposed so
+// simultaneously scheduled X and Z plaquettes never contend for a data
+// qubit.
+func (c Code) CZTarget(st Stabilizer, k int) (Coord, bool) {
+	// Corner offsets relative to the plaquette coordinate: the data
+	// qubits at (r-1,c-1), (r-1,c), (r,c-1), (r,c).
+	nw := Coord{st.Anc.Row - 1, st.Anc.Col - 1}
+	ne := Coord{st.Anc.Row - 1, st.Anc.Col}
+	sw := Coord{st.Anc.Row, st.Anc.Col - 1}
+	se := Coord{st.Anc.Row, st.Anc.Col}
+	var order [4]Coord
+	if st.Basis == pauli.X {
+		order = [4]Coord{nw, ne, sw, se} // N order
+	} else {
+		order = [4]Coord{nw, sw, ne, se} // Z order
+	}
+	q := order[k]
+	if q.Row < 0 || q.Row >= c.D || q.Col < 0 || q.Col >= c.D {
+		return Coord{}, false
+	}
+	// Boundary plaquettes only touch qubits in their support.
+	for _, d := range st.Data {
+		if d == q {
+			return q, true
+		}
+	}
+	return Coord{}, false
+}
+
+// RoundSchedule expands one ESM round for a set of stabilizers into
+// per-step operation counts: how many ancilla and data qubits receive a
+// codeword at each step. The physical schedule unit uses these counts for
+// cycle and bandwidth accounting; the quantum backend applies the
+// equivalent stabilizer measurements directly (see DESIGN.md §5).
+type RoundSchedule struct {
+	// Ops[step] is the number of qubit operations issued in that step.
+	Ops [NumESMSteps]int
+}
+
+// ScheduleRound computes the round schedule for the given stabilizers.
+func (c Code) ScheduleRound(stabs []Stabilizer) RoundSchedule {
+	var rs RoundSchedule
+	n := len(stabs)
+	rs.Ops[StepReset] = n
+	rs.Ops[StepHadamard1] = n
+	rs.Ops[StepHadamard2] = n
+	rs.Ops[StepMeasure] = n
+	for _, st := range stabs {
+		for k := 0; k < 4; k++ {
+			if _, ok := c.CZTarget(st, k); ok {
+				rs.Ops[StepCZ1+ESMStep(k)] += 2 // ancilla + data
+			}
+		}
+	}
+	return rs
+}
+
+// RoundLatencyNs computes the wall-clock duration of one round from the
+// Table-4 gate latencies: two single-qubit layers, four two-qubit layers,
+// one measurement (reset folds into the measurement slot on hardware).
+func RoundLatencyNs(t1q, t2q, tmeas float64) float64 {
+	return 2*t1q + 4*t2q + tmeas
+}

@@ -1,0 +1,32 @@
+package synth
+
+import "xqsim/internal/netlist"
+
+// JJPerGate is the Josephson-junction cost of each converted element,
+// MITLL-library magnitudes (logic gates include their clock interface).
+var JJPerGate = [netlist.NumKinds]int{
+	netlist.AND:   12,
+	netlist.OR:    10,
+	netlist.XOR:   10,
+	netlist.NOT:   8,
+	netlist.MUX:   14,
+	netlist.DFF:   6,
+	netlist.NDRO:  11,
+	netlist.SPLIT: 3,
+	netlist.BUF:   2,
+}
+
+// JJCount converts the netlist for the RSFQ family and returns its total
+// JJ count together with the conversion statistics.
+func JJCount(nl *netlist.Netlist) (int, netlist.SFQStats) {
+	s := nl.ConvertSFQ()
+	counts := nl.Counts()
+	jj := 0
+	for k, c := range counts {
+		jj += c * JJPerGate[k]
+	}
+	jj += s.BalanceDFFs * JJPerGate[netlist.DFF]
+	jj += (s.DataSplitters + s.ClockSplitters) * JJPerGate[netlist.SPLIT]
+	jj += s.PTLBuffers * JJPerGate[netlist.BUF]
+	return jj, s
+}

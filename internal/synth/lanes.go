@@ -1,0 +1,102 @@
+package synth
+
+import "xqsim/internal/netlist"
+
+// PSULane is the per-physical-qubit slice of the PSU: the codeword AND
+// gate array masked by the mask-generator output, backed by the
+// double-buffered cwd shift-register stage for this qubit (Fig. 6c).
+func PSULane(cwdBits int) *netlist.Netlist {
+	nl := netlist.New("psu_lane", cwdBits+2) // cwd bits, mask, buffer select
+	mask := cwdBits
+	sel := cwdBits + 1
+	for b := 0; b < cwdBits; b++ {
+		masked := nl.Add(netlist.AND, b, mask)
+		if b%2 == 0 {
+			// The double-buffered cwd stage is shared per bit pair.
+			nl.MarkOutput(nl.Add(netlist.NDRO, masked, sel))
+		} else {
+			nl.MarkOutput(masked)
+		}
+	}
+	return nl
+}
+
+// TCULane is the per-physical-qubit slice of the TCU. The baseline
+// (simple=false) is a two-entry FIFO with write/read pointer multiplexers
+// and demultiplexers per bit — the overhead Optimization #3 removes. The
+// optimized design (simple=true) keeps a single NDRO entry whose output
+// DFFs are clocked directly by the timing-match signal (Fig. 18b).
+func TCULane(cwdBits int, simple bool) *netlist.Netlist {
+	if simple {
+		nl := netlist.New("tcu_lane_simple", cwdBits+1)
+		match := cwdBits
+		for b := 0; b < cwdBits; b++ {
+			held := nl.Add(netlist.NDRO, b, match)
+			// The timing-match signal clocks the output DFF directly
+			// (Fig. 18b): no multiplexers or pointer logic.
+			nl.MarkOutput(nl.Add(netlist.DFF, held))
+		}
+		return nl
+	}
+	nl := netlist.New("tcu_lane_fifo", cwdBits+4) // data, wr_ptr, rd_ptr, push, pop
+	wr, rd, push, pop := cwdBits, cwdBits+1, cwdBits+2, cwdBits+3
+	wrN := nl.Add(netlist.NOT, wr)
+	we0 := nl.Add(netlist.AND, push, wrN)
+	we1 := nl.Add(netlist.AND, push, wr)
+	for b := 0; b < cwdBits; b++ {
+		// Demultiplex into one of the two entries (write-enable drives the
+		// NDRO clock input), then multiplex the read side by the pointer.
+		e0 := nl.Add(netlist.NDRO, b, we0)
+		e1 := nl.Add(netlist.NDRO, b, we1)
+		sel := nl.Add(netlist.MUX, rd, e0, e1)
+		nl.MarkOutput(nl.Add(netlist.DFF, sel))
+	}
+	// Pointer update logic.
+	nl.MarkOutput(nl.Add(netlist.XOR, wr, push))
+	nl.MarkOutput(nl.Add(netlist.XOR, rd, pop))
+	return nl
+}
+
+// EDUStateMachine is the per-cell state machine deriving the cell state
+// from token, match and syndrome signals (Fig. 6g).
+func EDUStateMachine() *netlist.Netlist {
+	nl := netlist.New("edu_state", 6) // token, match, syn, pchinfo, 2 state bits
+	token, match, syn, pch, s0, s1 := 0, 1, 2, 3, 4, 5
+	active := nl.Add(netlist.AND, syn, pch)
+	src := nl.Add(netlist.AND, active, nl.Add(netlist.NOT, token))
+	tokHold := nl.Add(netlist.AND, active, token)
+	n0 := nl.Add(netlist.XOR, s0, nl.Add(netlist.AND, src, match))
+	n1 := nl.Add(netlist.XOR, s1, nl.Add(netlist.OR, tokHold, nl.Add(netlist.AND, s0, match)))
+	nl.MarkOutput(nl.Add(netlist.NDRO, n0, match))
+	nl.MarkOutput(nl.Add(netlist.NDRO, n1, match))
+	nl.MarkOutput(nl.Add(netlist.DFF, nl.Add(netlist.OR, src, tokHold)))
+	return nl
+}
+
+// SelectiveProductUnit is the LMU's measurement-product slice: it XORs a
+// window of data-qubit measurements selected by the boundary mask and
+// folds in the Pauli-frame correction parity (Fig. 6e).
+func SelectiveProductUnit(window int) *netlist.Netlist {
+	nl := netlist.New("lmu_spu", 3*window) // meas bits, select bits, pf bits
+	var terms []int
+	for i := 0; i < window; i++ {
+		meas := i
+		sel := window + i
+		pf := 2*window + i
+		corrected := nl.Add(netlist.XOR, meas, pf)
+		terms = append(terms, nl.Add(netlist.AND, corrected, sel))
+	}
+	// XOR reduction tree.
+	for len(terms) > 1 {
+		var next []int
+		for i := 0; i+1 < len(terms); i += 2 {
+			next = append(next, nl.Add(netlist.XOR, terms[i], terms[i+1]))
+		}
+		if len(terms)%2 == 1 {
+			next = append(next, terms[len(terms)-1])
+		}
+		terms = next
+	}
+	nl.MarkOutput(nl.Add(netlist.NDRO, terms[0], 0))
+	return nl
+}

@@ -1,0 +1,48 @@
+package synth
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPrintJJCounts(t *testing.T) {
+	jj := func(f func() int) int { return f() }
+	_ = jj
+	for _, c := range []struct {
+		name string
+		n    int
+	}{
+		{"psu_lane(26)", StatsOf(PSULane(26)).JJ},
+		{"tcu_fifo(26)", StatsOf(TCULane(26, false)).JJ},
+		{"tcu_simple(26)", StatsOf(TCULane(26, true)).JJ},
+		{"edu_state", StatsOf(EDUStateMachine()).JJ},
+		{"lmu_spu(8)", StatsOf(SelectiveProductUnit(8)).JJ},
+	} {
+		fmt.Printf("%-16s %d JJ\n", c.name, c.n)
+	}
+	// Unit-level per-qubit numbers at a representative scale.
+	nPhys := 10000
+	nPatches := nPhys / 512
+	nAnc := nPhys / 2
+	nData := nPhys / 2
+	psuB := PSU(nPhys, nPatches, DefaultPSUOptions())
+	psuO := PSU(nPhys, nPatches, OptimizedPSUOptions())
+	tcuB := TCU(nPhys, TCUOptions{})
+	tcuO := TCU(nPhys, TCUOptions{SimpleBuffer: true})
+	edu := EDU(nAnc, nPatches, EDUOptions{D: 15})
+	eduPS := EDU(nAnc, nPatches, EDUOptions{D: 15, PatchSliding: true})
+	pfu := PFU(nData)
+	fmt.Printf("PSU base %d JJ/q, opt %d JJ/q (ratio %.2f)\n", psuB.JJ/nPhys, psuO.JJ/nPhys, float64(psuB.JJ)/float64(psuO.JJ))
+	fmt.Printf("TCU base %d JJ/q, opt %d JJ/q (ratio %.2f)\n", tcuB.JJ/nPhys, tcuO.JJ/nPhys, float64(tcuB.JJ)/float64(tcuO.JJ))
+	fmt.Printf("EDU base %d JJ/q, ps %d JJ/q (ratio %.2f)\n", edu.JJ/nPhys, eduPS.JJ/nPhys, float64(edu.JJ)/float64(eduPS.JJ))
+	fmt.Printf("PFU %d JJ/q\n", pfu.JJ/nPhys)
+}
+
+func TestPrintCMOSGates(t *testing.T) {
+	nPhys := 10000
+	nPatches := nPhys / 512
+	psuB := PSU(nPhys, nPatches, DefaultPSUOptions())
+	tcuB := TCU(nPhys, TCUOptions{})
+	fmt.Printf("PSU base %d cmos-gates/q; TCU base %d cmos-gates/q; total %d\n",
+		psuB.CMOSGates/nPhys, tcuB.CMOSGates/nPhys, (psuB.CMOSGates+tcuB.CMOSGates)/nPhys)
+}
