@@ -195,8 +195,21 @@ func BenchmarkScalabilityEvaluation(b *testing.B) {
 // BenchmarkMeasureRates measures the reference-scale pipeline run behind
 // every sweep.
 func BenchmarkMeasureRates(b *testing.B) {
+	// Uncached: every iteration runs the full pipeline (varying the seed
+	// would slowly fill the process-wide memo cache across calibration
+	// runs and skew the measurement).
 	for i := 0; i < b.N; i++ {
-		_ = xqsim.MeasureRates(15, 0.001, xqsim.SchemePriority, int64(i))
+		_ = xqsim.MeasureRatesUncached(15, 0.001, xqsim.SchemePriority, int64(i))
+	}
+}
+
+func BenchmarkMeasureRatesCached(b *testing.B) {
+	// Fixed key: after the first fill every call is a memo hit, the case
+	// the sweep grids see when figures share an operating point.
+	xqsim.MeasureRates(15, 0.001, xqsim.SchemePriority, 424243)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = xqsim.MeasureRates(15, 0.001, xqsim.SchemePriority, 424243)
 	}
 }
 

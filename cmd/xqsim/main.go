@@ -7,6 +7,7 @@
 //	xqsim -workload random -lq 4 -pprs 10 -d 15 -system future-final
 //	xqsim -workload qaoa -lq 4 -d 5 -shots 512 -functional
 //	xqsim -workload qft2 -d 5 -shots 2048 -functional
+//	xqsim -workload random -d 15 -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 
 	"xqsim"
+	"xqsim/internal/prof"
 )
 
 func main() {
@@ -33,6 +35,7 @@ func main() {
 		trace      = flag.String("trace", "", "write a per-instruction JSON trace of one shot to this file")
 	)
 	flag.Parse()
+	defer prof.Start()()
 
 	circ, err := buildWorkload(*workload, *lq, *pprs, *product, *seed)
 	if err != nil {

@@ -8,6 +8,7 @@
 //	xqsweep -fig 14
 //	xqsweep -table 3 -shots 2048
 //	xqsweep -fig 19 -csv fig19.csv
+//	xqsweep -fig 5 -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"xqsim"
+	"xqsim/internal/prof"
 )
 
 func main() {
@@ -32,6 +34,7 @@ func main() {
 		md          = flag.String("md", "", "write a Markdown reproduction report to this file")
 	)
 	flag.Parse()
+	defer prof.Start()()
 
 	var results []xqsim.ExperimentResult
 	run := func(id string) {

@@ -2,11 +2,11 @@ package compiler
 
 import (
 	"fmt"
-	"math/rand"
 
 	"xqsim/internal/ftqc"
 	"xqsim/internal/isa"
 	"xqsim/internal/pauli"
+	"xqsim/internal/xrand"
 )
 
 // Builder accumulates rotations for a circuit, providing the standard
@@ -96,7 +96,7 @@ func (b *Builder) Circuit() Circuit { return b.c }
 // PPR(pi/8) rotations over nLQ logical qubits, with uniformly drawn
 // non-identity Pauli products.
 func RandomPPR(nLQ, count int, seed int64) Circuit {
-	r := rand.New(rand.NewSource(seed))
+	r := xrand.New(seed)
 	c := Circuit{NLQ: nLQ, Name: fmt.Sprintf("random-ppr-%dx%d", nLQ, count)}
 	for i := 0; i < count; i++ {
 		p := pauli.NewProduct(nLQ)

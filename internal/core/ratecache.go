@@ -1,0 +1,63 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"xqsim/internal/decoder"
+)
+
+// rateKey identifies one steady-state rate measurement. Rates are a pure
+// function of these four inputs (the reference workload shape is fixed at
+// 4 LQ / 6 PPRs), so repeated measurements can be shared.
+type rateKey struct {
+	d         int
+	physError float64
+	scheme    decoder.Scheme
+	seed      int64
+}
+
+// rateEntry is a singleflight cell: the first caller to claim the key
+// runs the pipeline inside once; concurrent callers for the same key
+// block on it and then read the settled value.
+type rateEntry struct {
+	once  sync.Once
+	rates Rates
+}
+
+var (
+	rateCache sync.Map // rateKey -> *rateEntry
+	// rateMisses counts actual pipeline executions (cache fills), for
+	// tests and for judging sweep-level reuse.
+	rateMisses atomic.Int64
+)
+
+// MeasureRates runs the full pipeline (scaling mode, no tableau) on a
+// random-PPR workload at a reference scale and extracts the rates.
+//
+// Results are memoized per (d, physError, scheme, seed): the sweep grids
+// re-measure the same operating point many times (every figure starts
+// from the same d=15 reference run), and a rate measurement is by far the
+// most expensive step of a sweep. The memoization is concurrency-safe
+// and single-flight — parallel callers asking for the same key run one
+// pipeline, not N. Use MeasureRatesUncached to force a fresh run (e.g.
+// when profiling the pipeline itself).
+func MeasureRates(d int, physError float64, scheme decoder.Scheme, seed int64) Rates {
+	key := rateKey{d: d, physError: physError, scheme: scheme, seed: seed}
+	e, ok := rateCache.Load(key)
+	if !ok {
+		e, _ = rateCache.LoadOrStore(key, &rateEntry{})
+	}
+	entry := e.(*rateEntry)
+	entry.once.Do(func() {
+		rateMisses.Add(1)
+		entry.rates = measureRatesN(d, physError, scheme, seed, 4, 6)
+	})
+	return entry.rates
+}
+
+// MeasureRatesUncached bypasses the memoization and always runs the
+// pipeline. It does not populate the cache.
+func MeasureRatesUncached(d int, physError float64, scheme decoder.Scheme, seed int64) Rates {
+	return measureRatesN(d, physError, scheme, seed, 4, 6)
+}

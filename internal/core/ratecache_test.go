@@ -1,0 +1,88 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"xqsim/internal/decoder"
+)
+
+// Keys here use otherwise-unused seeds so the miss accounting is not
+// perturbed by other tests sharing the process-wide cache.
+
+func TestMeasureRatesMemoized(t *testing.T) {
+	const seed = 900001
+	before := rateMisses.Load()
+	a := MeasureRates(3, 0.001, decoder.SchemePriority, seed)
+	b := MeasureRates(3, 0.001, decoder.SchemePriority, seed)
+	if got := rateMisses.Load() - before; got != 1 {
+		t.Fatalf("two same-key calls ran the pipeline %d times, want 1", got)
+	}
+	if a != b {
+		t.Fatalf("memoized result differs: %+v vs %+v", a, b)
+	}
+	// A different key must miss.
+	MeasureRates(3, 0.001, decoder.SchemeRoundRobin, seed)
+	if got := rateMisses.Load() - before; got != 2 {
+		t.Fatalf("distinct-key call did not run the pipeline (misses = %d)", got)
+	}
+}
+
+func TestMeasureRatesUncachedBypasses(t *testing.T) {
+	const seed = 900002
+	u := MeasureRatesUncached(3, 0.001, decoder.SchemePriority, seed)
+	key := rateKey{d: 3, physError: 0.001, scheme: decoder.SchemePriority, seed: seed}
+	if _, ok := rateCache.Load(key); ok {
+		t.Fatal("MeasureRatesUncached populated the cache")
+	}
+	if c := MeasureRates(3, 0.001, decoder.SchemePriority, seed); c != u {
+		t.Fatalf("uncached result %+v differs from cached %+v", u, c)
+	}
+}
+
+// TestMeasureRatesConcurrent hammers one fresh key from many goroutines:
+// the singleflight cell must run the pipeline exactly once and every
+// caller must observe the same settled value. Run with -race.
+func TestMeasureRatesConcurrent(t *testing.T) {
+	const seed = 900003
+	before := rateMisses.Load()
+	const callers = 16
+	out := make([]Rates, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Mix two distinct keys across the callers.
+			scheme := decoder.SchemePriority
+			if i%2 == 1 {
+				scheme = decoder.SchemePatchSliding
+			}
+			out[i] = MeasureRates(3, 0.001, scheme, seed)
+		}(i)
+	}
+	wg.Wait()
+	if got := rateMisses.Load() - before; got != 2 {
+		t.Fatalf("%d concurrent callers over 2 keys ran the pipeline %d times, want 2", callers, got)
+	}
+	for i := 2; i < callers; i++ {
+		if out[i] != out[i%2] {
+			t.Fatalf("caller %d observed %+v, want %+v", i, out[i], out[i%2])
+		}
+	}
+}
+
+// TestLogicalErrorRateSchedulingInvariant asserts the parallel trial pool
+// returns exactly the serial loop's answer: per-trial seeds make each
+// trial independent of scheduling, and the rate is a pure count.
+func TestLogicalErrorRateSchedulingInvariant(t *testing.T) {
+	const trials = 40
+	par := LogicalErrorRate(3, 0.01, 3, trials, 900004)
+	prev := runtime.GOMAXPROCS(1)
+	ser := LogicalErrorRate(3, 0.01, 3, trials, 900004)
+	runtime.GOMAXPROCS(prev)
+	if par != ser {
+		t.Fatalf("parallel rate %v != serial rate %v", par, ser)
+	}
+}

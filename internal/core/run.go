@@ -4,6 +4,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"xqsim/internal/compiler"
 	"xqsim/internal/config"
@@ -201,24 +202,46 @@ func RunScalingWorkload(d int, physError float64, scheme decoder.Scheme, seed in
 // direct simulation of the backend: prepare |0_L>, run `windows` decode
 // windows, and count readout flips. This is the standard threshold
 // experiment; internal/sweep.ThresholdStudy sweeps it across distances.
+// Trials are independent simulations with per-trial seeds, so they run
+// across GOMAXPROCS workers; the returned rate is a pure count and thus
+// identical to the serial loop's regardless of scheduling.
 func LogicalErrorRate(d int, p float64, windows, trials int, seed int64) float64 {
-	fails := 0
-	for t := 0; t < trials; t++ {
-		layout := surface.NewPPRLayout(1, d)
-		b := microarch.NewBackend(layout, p, seed+int64(t)*6151, true)
-		b.PrepareZero(0)
-		for w := 0; w < windows; w++ {
-			for r := 0; r < d; r++ {
-				b.InjectRoundNoise()
-				b.MeasureSyndromesRound(r == d-1)
-			}
-			b.FinishWindow()
-		}
-		pr := pauli.NewProduct(b.NumLQ())
-		pr.Ops[0] = pauli.Z
-		if b.MeasureProduct(pr) {
-			fails++
-		}
+	if trials <= 0 {
+		return 0
 	}
-	return float64(fails) / float64(trials)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	var fails, next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= trials {
+					return
+				}
+				layout := surface.NewPPRLayout(1, d)
+				b := microarch.NewBackend(layout, p, seed+int64(t)*6151, true)
+				b.PrepareZero(0)
+				for w := 0; w < windows; w++ {
+					for r := 0; r < d; r++ {
+						b.InjectRoundNoise()
+						b.MeasureSyndromesRound(r == d-1)
+					}
+					b.FinishWindow()
+				}
+				pr := pauli.NewProduct(b.NumLQ())
+				pr.Ops[0] = pauli.Z
+				if b.MeasureProduct(pr) {
+					fails.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return float64(fails.Load()) / float64(trials)
 }

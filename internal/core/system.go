@@ -227,12 +227,6 @@ type Rates struct {
 	SmallFlowBitsPerQubitPerRound float64
 }
 
-// MeasureRates runs the full pipeline (scaling mode, no tableau) on a
-// random-PPR workload at a reference scale and extracts the rates.
-func MeasureRates(d int, physError float64, scheme decoder.Scheme, seed int64) Rates {
-	return measureRatesN(d, physError, scheme, seed, 4, 6)
-}
-
 func measureRatesN(d int, physError float64, scheme decoder.Scheme, seed int64, nLQ, pprs int) Rates {
 	circ := workloadCircuit(nLQ, pprs, seed)
 	res, err := compileCircuit(circ)

@@ -16,10 +16,19 @@
 // accounting inputs. Decoding is per basis type: Z-type plaquettes detect
 // X errors, whose chains terminate on the X-boundaries (left/right in the
 // canonical orientation), and symmetrically for X-type plaquettes.
+//
+// The hot path is allocation-free: syndromes travel as bit-packed
+// SyndromeBitmaps, per-distance boundary tables are precomputed once, and
+// DecodePatchInto threads a reusable Scratch through clustering, the
+// exact bitmask-DP matcher, and path reconstruction. The map-based
+// DecodePatch remains as a convenience wrapper producing identical
+// results (see TestBitmapEquivalence).
 package decoder
 
 import (
+	"math/bits"
 	"sort"
+	"sync"
 
 	"xqsim/internal/pauli"
 	"xqsim/internal/surface"
@@ -99,10 +108,53 @@ func boundaryDist(c surface.Code, basis pauli.Pauli, p surface.Coord) int {
 	return c.D - p.Row
 }
 
+// boundaryTables holds the per-plaquette boundary distances of one code
+// distance, indexed row*(d+1)+col, for both decode bases.
+type boundaryTables struct {
+	z, x []int16
+}
+
+// bTableCache caches boundary tables per code distance: every ESM round
+// decodes the same few distances, so the table is built once per process.
+var bTableCache sync.Map // int (d) -> *boundaryTables
+
+func boundaryTable(c surface.Code, basis pauli.Pauli) []int16 {
+	if t, ok := bTableCache.Load(c.D); ok {
+		bt := t.(*boundaryTables)
+		if basis == pauli.Z {
+			return bt.z
+		}
+		return bt.x
+	}
+	stride := c.D + 1
+	bt := &boundaryTables{
+		z: make([]int16, stride*stride),
+		x: make([]int16, stride*stride),
+	}
+	for r := 0; r < stride; r++ {
+		for col := 0; col < stride; col++ {
+			p := surface.Coord{Row: r, Col: col}
+			bt.z[r*stride+col] = int16(boundaryDist(c, pauli.Z, p))
+			bt.x[r*stride+col] = int16(boundaryDist(c, pauli.X, p))
+		}
+	}
+	t, _ := bTableCache.LoadOrStore(c.D, bt)
+	bt = t.(*boundaryTables)
+	if basis == pauli.Z {
+		return bt.z
+	}
+	return bt.x
+}
+
 // boundaryPath returns the data qubits of the straight chain from
 // plaquette p to its nearest open boundary.
 func boundaryPath(c surface.Code, basis pauli.Pauli, p surface.Coord) []surface.Coord {
-	var out []surface.Coord
+	return appendBoundaryPath(nil, c, basis, p)
+}
+
+// appendBoundaryPath appends boundaryPath's chain to out, avoiding a
+// per-match allocation on the decode hot path.
+func appendBoundaryPath(out []surface.Coord, c surface.Code, basis pauli.Pauli, p surface.Coord) []surface.Coord {
 	if basis == pauli.Z {
 		row := p.Row
 		if row > c.D-1 {
@@ -140,7 +192,11 @@ func boundaryPath(c surface.Code, basis pauli.Pauli, p surface.Coord) []surface.
 // exhausted the walk zigzags, alternating direction while staying inside
 // the patch.
 func pairPath(c surface.Code, a, b surface.Coord) []surface.Coord {
-	var out []surface.Coord
+	return appendPairPath(nil, c, a, b)
+}
+
+// appendPairPath appends pairPath's chain to out.
+func appendPairPath(out []surface.Coord, c surface.Code, a, b surface.Coord) []surface.Coord {
 	r, col := a.Row, a.Col
 	zig := 1
 	for r != b.Row || col != b.Col {
@@ -179,167 +235,243 @@ func sign(x int) int {
 	return 0
 }
 
-// DecodePatch computes the minimum-weight matching of the non-trivial
-// plaquettes of one basis over one patch window: every syndrome pairs with
-// another syndrome or terminates on an open boundary, minimizing the total
-// chain length. This is the matching the racing spikes of the cell array
-// converge to (the earliest spike to arrive wins); the per-scheme token
-// setup changes only the cycle cost, computed separately by SchemeCycles.
+// maxExactCluster bounds the bitmask DP; larger clusters fall back to
+// greedy nearest-pair matching.
+const maxExactCluster = 20
+
+// Scratch holds the reusable working memory of one decode stream. A zero
+// Scratch is ready to use; buffers grow to the high-water mark of the
+// stream and are reused across calls, making DecodePatchInto
+// allocation-free in steady state. A Scratch must not be shared between
+// concurrent decoders.
+type Scratch struct {
+	cells  []surface.Coord // non-trivial plaquettes in scan order
+	bdist  []int32         // per-cell boundary distance
+	dist   []int32         // pairwise plaquette distances, n*n
+	parent []int32         // union-find forest over cells
+	gid    []int32         // root -> group id in first-seen order (-1 unset)
+	group  []int32         // per-cell group id
+	member []int32         // member gather buffer for one cluster
+	open   []bool          // greedy-fallback token state
+	f      []int32         // DP: min cost per subset
+	choice []int32         // DP: chosen partner per subset (-1 = boundary)
+}
+
+// grow returns s resized to n, reusing capacity.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// prepare loads the cells' distance views and clusters them: two
+// syndromes join a cluster when their pairing could beat their boundary
+// terminations. Group ids are assigned in first-seen scan order.
+func (sc *Scratch) prepare(c surface.Code, basis pauli.Pauli) int {
+	n := len(sc.cells)
+	sc.bdist = growInt32(sc.bdist, n)
+	sc.dist = growInt32(sc.dist, n*n)
+	sc.parent = growInt32(sc.parent, n)
+	sc.gid = growInt32(sc.gid, n)
+	sc.group = growInt32(sc.group, n)
+
+	bt := boundaryTable(c, basis)
+	stride := c.D + 1
+	for i, p := range sc.cells {
+		sc.bdist[i] = int32(bt[p.Row*stride+p.Col])
+		sc.parent[i] = int32(i)
+		sc.gid[i] = -1
+	}
+	find := func(i int32) int32 {
+		for sc.parent[i] != i {
+			sc.parent[i] = sc.parent[sc.parent[i]]
+			i = sc.parent[i]
+		}
+		return i
+	}
+	for i := 0; i < n; i++ {
+		sc.dist[i*n+i] = 0
+		for j := i + 1; j < n; j++ {
+			d := int32(plaquetteDist(sc.cells[i], sc.cells[j]))
+			sc.dist[i*n+j] = d
+			sc.dist[j*n+i] = d
+			if d <= sc.bdist[i]+sc.bdist[j] {
+				sc.parent[find(int32(i))] = find(int32(j))
+			}
+		}
+	}
+	groups := 0
+	for i := 0; i < n; i++ {
+		r := find(int32(i))
+		if sc.gid[r] < 0 {
+			sc.gid[r] = int32(groups)
+			groups++
+		}
+		sc.group[i] = sc.gid[r]
+	}
+	return groups
+}
+
+// DecodePatchInto computes the minimum-weight matching of the non-trivial
+// plaquettes of one basis over one patch window, writing the result into
+// res (whose slices are truncated and reused). It is the allocation-free
+// core of DecodePatch: every syndrome pairs with another syndrome or
+// terminates on an open boundary, minimizing the total chain length. This
+// is the matching the racing spikes of the cell array converge to (the
+// earliest spike to arrive wins); the per-scheme token setup changes only
+// the cycle cost, computed separately by SchemeCycles.
 //
 // Syndromes are first split into independent clusters (two syndromes can
 // only be profitably paired when their distance is below the sum of their
 // boundary distances); each cluster is solved exactly by bitmask dynamic
 // programming, with a nearest-pair greedy fallback for clusters too large
 // for the exact solver (which do not occur at the paper's error rates).
-func DecodePatch(c surface.Code, basis pauli.Pauli, syndrome map[surface.Coord]bool) Result {
-	// Deterministic order: row-major over non-trivial plaquettes,
-	// matching the hardware's cell scan order.
-	cells := make([]surface.Coord, 0, len(syndrome))
-	for p, on := range syndrome {
-		if on {
-			cells = append(cells, p)
-		}
-	}
-	sort.Slice(cells, func(i, j int) bool {
-		if cells[i].Row != cells[j].Row {
-			return cells[i].Row < cells[j].Row
-		}
-		return cells[i].Col < cells[j].Col
-	})
-
-	var res Result
-	for _, cluster := range clusterSyndromes(c, basis, cells) {
-		decodeCluster(c, basis, cluster, &res)
-	}
-	return res
-}
-
-// clusterSyndromes unions syndromes whose pairing could beat their
-// boundary terminations, returning clusters in scan order.
-func clusterSyndromes(c surface.Code, basis pauli.Pauli, cells []surface.Coord) [][]surface.Coord {
-	n := len(cells)
-	parent := make([]int, n)
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(i int) int {
-		for parent[i] != i {
-			parent[i] = parent[parent[i]]
-			i = parent[i]
-		}
-		return i
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if plaquetteDist(cells[i], cells[j]) <= boundaryDist(c, basis, cells[i])+boundaryDist(c, basis, cells[j]) {
-				parent[find(i)] = find(j)
-			}
-		}
-	}
-	groups := make(map[int][]surface.Coord)
-	var order []int
-	for i, p := range cells {
-		r := find(i)
-		if _, seen := groups[r]; !seen {
-			order = append(order, r)
-		}
-		groups[r] = append(groups[r], p)
-	}
-	out := make([][]surface.Coord, 0, len(order))
-	for _, r := range order {
-		out = append(out, groups[r])
-	}
-	return out
-}
-
-// maxExactCluster bounds the bitmask DP; larger clusters fall back to
-// greedy nearest-pair matching.
-const maxExactCluster = 20
-
-func decodeCluster(c surface.Code, basis pauli.Pauli, cells []surface.Coord, res *Result) {
-	n := len(cells)
+//
+// Cells are consumed in row-major scan order (the hardware's cell scan
+// order), so identical syndromes always produce identical Results.
+func DecodePatchInto(c surface.Code, basis pauli.Pauli, syn *SyndromeBitmap, sc *Scratch, res *Result) {
+	res.Flips = res.Flips[:0]
+	res.Matches = res.Matches[:0]
+	sc.cells = syn.AppendCells(sc.cells[:0])
+	n := len(sc.cells)
 	if n == 0 {
 		return
 	}
-	if n > maxExactCluster {
-		decodeGreedy(c, basis, cells, res)
+	groups := sc.prepare(c, basis)
+	for g := 0; g < groups; g++ {
+		sc.member = sc.member[:0]
+		for i := 0; i < n; i++ {
+			if sc.group[i] == int32(g) {
+				sc.member = append(sc.member, int32(i))
+			}
+		}
+		decodeClusterInto(c, basis, sc, res)
+	}
+}
+
+// decodeClusterInto solves one cluster (sc.member) exactly by bitmask DP.
+// f[S] is the minimum cost to resolve the syndromes in subset S; the
+// lowest set bit is always resolved first, either against the boundary or
+// against a higher member, so each subset is visited once. f needs no
+// clearing between calls: every entry is written (in ascending subset
+// order) before it is read.
+func decodeClusterInto(c surface.Code, basis pauli.Pauli, sc *Scratch, res *Result) {
+	k := len(sc.member)
+	if k == 0 {
 		return
 	}
-	// f[S] = min cost to resolve the syndromes in subset S.
-	f := make([]int, 1<<uint(n))
-	choice := make([]int32, 1<<uint(n)) // partner index, or -1 for boundary
-	for s := 1; s < 1<<uint(n); s++ {
-		i := 0
-		for s&(1<<uint(i)) == 0 {
-			i++
-		}
+	if k > maxExactCluster {
+		decodeGreedyInto(c, basis, sc, res)
+		return
+	}
+	n := len(sc.cells)
+	size := 1 << uint(k)
+	sc.f = growInt32(sc.f, size)
+	sc.choice = growInt32(sc.choice, size)
+	sc.f[0] = 0
+	for s := 1; s < size; s++ {
+		i := bits.TrailingZeros32(uint32(s))
 		rest := s &^ (1 << uint(i))
-		best := boundaryDist(c, basis, cells[i]) + f[rest]
+		mi := int(sc.member[i])
+		best := sc.bdist[mi] + sc.f[rest]
 		bestJ := int32(-1)
-		for j := i + 1; j < n; j++ {
-			if rest&(1<<uint(j)) == 0 {
-				continue
-			}
-			cost := plaquetteDist(cells[i], cells[j]) + f[rest&^(1<<uint(j))]
+		for r := rest; r != 0; r &= r - 1 {
+			j := bits.TrailingZeros32(uint32(r))
+			cost := sc.dist[mi*n+int(sc.member[j])] + sc.f[rest&^(1<<uint(j))]
 			if cost < best {
 				best, bestJ = cost, int32(j)
 			}
 		}
-		f[s] = best
-		choice[s] = bestJ
+		sc.f[s] = best
+		sc.choice[s] = bestJ
 	}
 	// Reconstruct.
-	for s := 1<<uint(n) - 1; s != 0; {
-		i := 0
-		for s&(1<<uint(i)) == 0 {
-			i++
-		}
-		j := choice[s]
+	for s := size - 1; s != 0; {
+		i := bits.TrailingZeros32(uint32(s))
+		mi := int(sc.member[i])
+		j := sc.choice[s]
 		if j < 0 {
-			res.Matches = append(res.Matches, Match{From: cells[i], ToBoundary: true, Steps: boundaryDist(c, basis, cells[i])})
-			res.Flips = append(res.Flips, boundaryPath(c, basis, cells[i])...)
+			res.Matches = append(res.Matches, Match{From: sc.cells[mi], ToBoundary: true, Steps: int(sc.bdist[mi])})
+			res.Flips = appendBoundaryPath(res.Flips, c, basis, sc.cells[mi])
 			s &^= 1 << uint(i)
 			continue
 		}
-		res.Matches = append(res.Matches, Match{From: cells[i], To: cells[j], Steps: plaquetteDist(cells[i], cells[j])})
-		res.Flips = append(res.Flips, pairPath(c, cells[i], cells[j])...)
+		mj := int(sc.member[j])
+		res.Matches = append(res.Matches, Match{From: sc.cells[mi], To: sc.cells[mj], Steps: int(sc.dist[mi*n+mj])})
+		res.Flips = appendPairPath(res.Flips, c, sc.cells[mi], sc.cells[mj])
 		s &^= 1<<uint(i) | 1<<uint(j)
 	}
 }
 
-// decodeGreedy is the nearest-pair fallback for oversized clusters.
-func decodeGreedy(c surface.Code, basis pauli.Pauli, cells []surface.Coord, res *Result) {
-	open := make(map[surface.Coord]bool, len(cells))
-	for _, p := range cells {
-		open[p] = true
+// decodeGreedyInto is the nearest-pair fallback for oversized clusters.
+func decodeGreedyInto(c surface.Code, basis pauli.Pauli, sc *Scratch, res *Result) {
+	k := len(sc.member)
+	n := len(sc.cells)
+	if cap(sc.open) < k {
+		sc.open = make([]bool, k)
 	}
-	for _, tok := range cells {
-		if !open[tok] {
+	sc.open = sc.open[:k]
+	for i := range sc.open {
+		sc.open[i] = true
+	}
+	for a := 0; a < k; a++ {
+		if !sc.open[a] {
 			continue
 		}
-		open[tok] = false
-		best := surface.Coord{}
-		bestDist := -1
-		for _, cand := range cells {
-			if !open[cand] {
+		sc.open[a] = false
+		ma := int(sc.member[a])
+		bestB := -1
+		bestDist := int32(-1)
+		for b := 0; b < k; b++ {
+			if !sc.open[b] {
 				continue
 			}
-			d := plaquetteDist(tok, cand)
+			d := sc.dist[ma*n+int(sc.member[b])]
 			if bestDist < 0 || d < bestDist {
-				best, bestDist = cand, d
+				bestB, bestDist = b, d
 			}
 		}
-		bd := boundaryDist(c, basis, tok)
+		bd := sc.bdist[ma]
 		if bestDist < 0 || bd < bestDist {
-			res.Matches = append(res.Matches, Match{From: tok, ToBoundary: true, Steps: bd})
-			res.Flips = append(res.Flips, boundaryPath(c, basis, tok)...)
+			res.Matches = append(res.Matches, Match{From: sc.cells[ma], ToBoundary: true, Steps: int(bd)})
+			res.Flips = appendBoundaryPath(res.Flips, c, basis, sc.cells[ma])
 			continue
 		}
-		open[best] = false
-		res.Matches = append(res.Matches, Match{From: tok, To: best, Steps: bestDist})
-		res.Flips = append(res.Flips, pairPath(c, tok, best)...)
+		sc.open[bestB] = false
+		mb := int(sc.member[bestB])
+		res.Matches = append(res.Matches, Match{From: sc.cells[ma], To: sc.cells[mb], Steps: int(bestDist)})
+		res.Flips = appendPairPath(res.Flips, c, sc.cells[ma], sc.cells[mb])
 	}
+}
+
+// patchState pools the conversion buffers behind the map-based
+// convenience API, so occasional DecodePatch callers don't pay a fresh
+// bitmap + scratch per call.
+type patchState struct {
+	bm SyndromeBitmap
+	sc Scratch
+}
+
+var patchPool = sync.Pool{New: func() any { return new(patchState) }}
+
+// DecodePatch decodes one patch window from the map syndrome
+// representation. It is a convenience wrapper over DecodePatchInto
+// (entries with value false are ignored) and returns an identical Result:
+// cells are consumed in row-major order regardless of map iteration
+// order, matching the hardware's cell scan order.
+func DecodePatch(c surface.Code, basis pauli.Pauli, syndrome map[surface.Coord]bool) Result {
+	st := patchPool.Get().(*patchState)
+	st.bm.Resize(c)
+	for p, on := range syndrome {
+		if on {
+			st.bm.Set(p)
+		}
+	}
+	var res Result
+	DecodePatchInto(c, basis, &st.bm, &st.sc, &res)
+	patchPool.Put(st)
+	return res
 }
 
 // SyndromeOf computes the non-trivial plaquettes of the given basis for a
@@ -443,11 +575,18 @@ type LatticeSyndrome map[int]map[surface.Coord]bool
 
 // DecodeLattice decodes every patch of a lattice syndrome with the full
 // per-ancilla cell array (the baseline organization: all patches' cells
-// exist simultaneously).
+// exist simultaneously). Patches decode in ascending index order — the
+// per-patch results are independent, but the explicit order keeps the
+// whole walk reproducible instead of following map iteration order.
 func DecodeLattice(c surface.Code, basis pauli.Pauli, syn LatticeSyndrome) map[int]Result {
+	patches := make([]int, 0, len(syn))
+	for p := range syn {
+		patches = append(patches, p)
+	}
+	sort.Ints(patches)
 	out := make(map[int]Result, len(syn))
-	for patch, s := range syn {
-		out[patch] = DecodePatch(c, basis, s)
+	for _, patch := range patches {
+		out[patch] = DecodePatch(c, basis, syn[patch])
 	}
 	return out
 }

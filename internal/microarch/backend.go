@@ -53,6 +53,18 @@ type Backend struct {
 	// condStabs are the seam boundary checks that activate when a side
 	// becomes a Z&X merge seam (surface.ConditionalStabilizers).
 	condStabs []surface.ConditionalStabilizer
+	// stabDataIdx / condDataIdx are the stabilizer supports flattened to
+	// frame offsets (row*d+col), precomputed so the per-round parity scan
+	// avoids re-deriving indices for every check of every patch.
+	stabDataIdx [][]int
+	condDataIdx [][]int
+
+	// Reusable decode state: syndromes are bit-packed per window and the
+	// decoder's scratch buffers persist across windows, keeping the
+	// simulate->decode inner loop allocation-free.
+	synBM  *decoder.SyndromeBitmap
+	decSc  decoder.Scratch
+	decRes decoder.Result
 
 	// prevSyn holds the previous round's syndrome per active patch,
 	// indexed by stabilizer template position (regular checks first,
@@ -89,10 +101,30 @@ func NewBackend(layout *surface.PPRLayout, p float64, seed int64, functional boo
 		eventAcc:      make(map[int][]bool),
 		condWasActive: make(map[int][]bool),
 	}
+	b.synBM = decoder.NewSyndromeBitmap(layout.Code)
+	b.stabDataIdx = flattenSupports(b.stabs, d)
+	cond := make([]surface.Stabilizer, len(b.condStabs))
+	for i, cs := range b.condStabs {
+		cond[i] = cs.Stabilizer
+	}
+	b.condDataIdx = flattenSupports(cond, d)
 	if functional {
 		b.tab = stab.New((layout.NLQ+2)*d*d, seed+2)
 	}
 	return b
+}
+
+// flattenSupports precomputes each stabilizer's data-qubit frame offsets.
+func flattenSupports(stabs []surface.Stabilizer, d int) [][]int {
+	out := make([][]int, len(stabs))
+	for i, st := range stabs {
+		idx := make([]int, len(st.Data))
+		for j, q := range st.Data {
+			idx[j] = q.Row*d + q.Col
+		}
+		out[i] = idx
+	}
+	return out
 }
 
 // NumLQ implements ftqc.Machine: data qubits plus the two resource slots.
@@ -350,11 +382,11 @@ func (b *Backend) MeasureSyndromesRound(final bool) int {
 		acc := b.eventAcc[patch]
 		dyn := b.Layout.Patch(patch).Dynamic
 		base := patch * d * d
-		parityOf := func(st surface.Stabilizer) bool {
+		parityOf := func(basis pauli.Pauli, idx []int) bool {
 			par := false
-			for _, q := range st.Data {
-				rec := b.errFrame.Ops[base+q.Row*d+q.Col]
-				if !rec.Commutes(st.Basis) {
+			for _, q := range idx {
+				rec := b.errFrame.Ops[base+q]
+				if !rec.Commutes(basis) {
 					par = !par
 				}
 			}
@@ -367,7 +399,7 @@ func (b *Backend) MeasureSyndromesRound(final bool) int {
 			if !surface.StabilizerActive(b.Code, st, dyn) {
 				continue
 			}
-			par := parityOf(st)
+			par := parityOf(st.Basis, b.stabDataIdx[si])
 			if par != prev[si] {
 				acc[si] = !acc[si]
 			}
@@ -383,7 +415,7 @@ func (b *Backend) MeasureSyndromesRound(final bool) int {
 				wasActive[ci] = false
 				continue
 			}
-			par := parityOf(cs.Stabilizer)
+			par := parityOf(cs.Basis, b.condDataIdx[ci])
 			if wasActive[ci] && par != prev[si] {
 				acc[si] = !acc[si]
 			}
@@ -448,18 +480,23 @@ func (b *Backend) FinishWindow() WindowDecode {
 			}
 			acc[si] = false
 		}
-		for _, basis := range []pauli.Pauli{pauli.Z, pauli.X} {
-			syn := make(map[surface.Coord]bool)
+		for _, basis := range [2]pauli.Pauli{pauli.Z, pauli.X} {
+			// Bit-pack the window's detection events; the template scan
+			// fills the bitmap in the hardware's row-major cell order.
+			b.synBM.Reset()
+			nontrivial := 0
 			for si, st := range b.stabs {
 				if st.Basis == basis && acc[si] {
-					syn[st.Anc] = true
-					out.Syndromes++
+					b.synBM.Set(st.Anc)
+					nontrivial++
 				}
 			}
-			if len(syn) == 0 {
+			if nontrivial == 0 {
 				continue
 			}
-			res := decoder.DecodePatch(b.Code, basis, syn)
+			out.Syndromes += nontrivial
+			decoder.DecodePatchInto(b.Code, basis, b.synBM, &b.decSc, &b.decRes)
+			res := &b.decRes
 			if basis == pauli.Z {
 				out.MatchesZ = append(out.MatchesZ, res.Matches...)
 			} else {

@@ -13,6 +13,8 @@ package noise
 import (
 	"math"
 	"math/rand"
+
+	"xqsim/internal/xrand"
 )
 
 // Model is a sparse Bernoulli sampler with a fixed per-site probability.
@@ -28,7 +30,7 @@ func NewModel(p float64, seed int64) *Model {
 	if p < 0 || p >= 1 {
 		panic("noise: probability out of range")
 	}
-	m := &Model{P: p, rng: rand.New(rand.NewSource(seed))}
+	m := &Model{P: p, rng: xrand.New(seed)}
 	if p > 0 {
 		m.lnq = math.Log(1 - p)
 	}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"xqsim/internal/pauli"
+	"xqsim/internal/xrand"
 )
 
 // OpKind enumerates circuit-IR operations.
@@ -127,7 +128,7 @@ func (c *Circuit) Measurements() int {
 // record.
 func (c *Circuit) SimulateTableau(seed int64) []bool {
 	t := New(c.N, seed)
-	rng := rand.New(rand.NewSource(seed + 0x9e3779b9))
+	rng := xrand.New(seed + 0x9e3779b9)
 	var rec []bool
 	for _, op := range c.Ops {
 		switch op.Kind {
@@ -193,7 +194,7 @@ func NewFrameSampler(c *Circuit, seed int64) *FrameSampler {
 	return &FrameSampler{
 		c:   c,
 		ref: noiseless.SimulateTableau(seed),
-		rng: rand.New(rand.NewSource(seed + 1)),
+		rng: xrand.New(seed + 1),
 	}
 }
 

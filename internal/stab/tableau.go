@@ -19,6 +19,7 @@ import (
 	"math/rand"
 
 	"xqsim/internal/pauli"
+	"xqsim/internal/xrand"
 )
 
 // Tableau is the stabilizer tableau of an n-qubit state.
@@ -33,6 +34,10 @@ type Tableau struct {
 	// stabilizer rows; the intermediate 2-bit phase lives in rowsum).
 	r   []uint8
 	rng *rand.Rand
+	// pmx/pmz hold the bit-packed X/Z masks of the Pauli product being
+	// measured, so per-row commutation checks are word-parallel popcounts
+	// instead of per-qubit bit probes.
+	pmx, pmz []uint64
 }
 
 // New returns an n-qubit tableau initialized to |0...0>.
@@ -47,7 +52,9 @@ func New(n int, seed int64) *Tableau {
 		x:     make([][]uint64, 2*n+1),
 		z:     make([][]uint64, 2*n+1),
 		r:     make([]uint8, 2*n+1),
-		rng:   rand.New(rand.NewSource(seed)),
+		rng:   xrand.New(seed),
+		pmx:   make([]uint64, w),
+		pmz:   make([]uint64, w),
 	}
 	for i := range t.x {
 		t.x[i] = make([]uint64, w)
@@ -231,21 +238,37 @@ func (t *Tableau) loadScratch(qubits []int, ops []pauli.Pauli, sign uint8) {
 	}
 }
 
-// anticommutesWithRow reports whether the Pauli product (qubits, ops)
-// anticommutes with tableau row `row`.
-func (t *Tableau) anticommutesWithRow(row int, qubits []int, ops []pauli.Pauli) bool {
-	anti := 0
+// loadProductMasks packs the Pauli product (qubits, ops) into t.pmx/t.pmz
+// once per measurement, so every row check afterwards is word-parallel.
+func (t *Tableau) loadProductMasks(qubits []int, ops []pauli.Pauli) {
+	for w := range t.pmx {
+		t.pmx[w] = 0
+		t.pmz[w] = 0
+	}
 	for k, q := range qubits {
 		p := ops[k]
 		if p == pauli.I {
 			continue
 		}
-		rp := pauli.FromBits(t.getX(row, q), t.getZ(row, q))
-		if !rp.Commutes(p) {
-			anti++
+		if p.XBit() {
+			t.pmx[q>>6] |= 1 << (uint(q) & 63)
+		}
+		if p.ZBit() {
+			t.pmz[q>>6] |= 1 << (uint(q) & 63)
 		}
 	}
-	return anti%2 == 1
+}
+
+// anticommutesWithMasks reports whether tableau row `row` anticommutes
+// with the product loaded into t.pmx/t.pmz: the symplectic inner product
+// sum x_row*z_p + z_row*x_p (mod 2) as a popcount parity.
+func (t *Tableau) anticommutesWithMasks(row int) bool {
+	x, z := t.x[row], t.z[row]
+	n := 0
+	for w := range t.pmx {
+		n += bits.OnesCount64(x[w]&t.pmz[w]) + bits.OnesCount64(z[w]&t.pmx[w])
+	}
+	return n&1 == 1
 }
 
 // MeasureProduct measures the Pauli product defined by parallel slices
@@ -256,10 +279,11 @@ func (t *Tableau) MeasureProduct(qubits []int, ops []pauli.Pauli) (bool, bool) {
 	if len(qubits) != len(ops) {
 		panic("stab: qubits/ops length mismatch")
 	}
+	t.loadProductMasks(qubits, ops)
 	// Find first stabilizer row anticommuting with the product.
 	p := -1
 	for row := t.n; row < 2*t.n; row++ {
-		if t.anticommutesWithRow(row, qubits, ops) {
+		if t.anticommutesWithMasks(row) {
 			p = row
 			break
 		}
@@ -268,7 +292,7 @@ func (t *Tableau) MeasureProduct(qubits []int, ops []pauli.Pauli) (bool, bool) {
 		// Random outcome. Every other anticommuting row (destabilizer or
 		// stabilizer) is multiplied by row p to restore commutation.
 		for row := 0; row < 2*t.n; row++ {
-			if row != p && t.anticommutesWithRow(row, qubits, ops) {
+			if row != p && t.anticommutesWithMasks(row) {
 				t.rowsum(row, p)
 			}
 		}
@@ -307,7 +331,7 @@ func (t *Tableau) MeasureProduct(qubits []int, ops []pauli.Pauli) (bool, bool) {
 	}
 	t.r[s] = 0
 	for row := 0; row < t.n; row++ {
-		if t.anticommutesWithRow(row, qubits, ops) {
+		if t.anticommutesWithMasks(row) {
 			t.rowsum(s, row+t.n)
 		}
 	}
@@ -331,8 +355,9 @@ func (t *Tableau) Reset(q int) {
 // state is an eigenstate: +1, -1, or 0 when the outcome would be random.
 // The state is not modified.
 func (t *Tableau) ExpectProduct(qubits []int, ops []pauli.Pauli) int {
+	t.loadProductMasks(qubits, ops)
 	for row := t.n; row < 2*t.n; row++ {
-		if t.anticommutesWithRow(row, qubits, ops) {
+		if t.anticommutesWithMasks(row) {
 			return 0
 		}
 	}
@@ -343,7 +368,7 @@ func (t *Tableau) ExpectProduct(qubits []int, ops []pauli.Pauli) int {
 	}
 	t.r[s] = 0
 	for row := 0; row < t.n; row++ {
-		if t.anticommutesWithRow(row, qubits, ops) {
+		if t.anticommutesWithMasks(row) {
 			t.rowsum(s, row+t.n)
 		}
 	}
@@ -386,13 +411,14 @@ func (t *Tableau) CheckInvariants() error {
 	}
 	for i := 0; i < t.n; i++ {
 		qi, oi := rowProd(t.n + i)
+		t.loadProductMasks(qi, oi)
 		for j := i + 1; j < t.n; j++ {
-			if t.anticommutesWithRow(t.n+j, qi, oi) {
+			if t.anticommutesWithMasks(t.n + j) {
 				return fmt.Errorf("stabilizers %d and %d anticommute", i, j)
 			}
 		}
 		for j := 0; j < t.n; j++ {
-			anti := t.anticommutesWithRow(j, qi, oi)
+			anti := t.anticommutesWithMasks(j)
 			if (i == j) != anti {
 				return fmt.Errorf("destabilizer %d vs stabilizer %d: anticommute=%v", j, i, anti)
 			}

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"xqsim/internal/pauli"
+	"xqsim/internal/xrand"
 )
 
 // State is a dense n-qubit pure state. Qubit 0 is the least significant
@@ -32,7 +33,7 @@ func New(n int, seed int64) *State {
 	if n < 1 || n > 24 {
 		panic("statevec: qubit count out of supported range")
 	}
-	s := &State{n: n, amps: make([]complex128, 1<<uint(n)), rng: rand.New(rand.NewSource(seed))}
+	s := &State{n: n, amps: make([]complex128, 1<<uint(n)), rng: xrand.New(seed)}
 	s.amps[0] = 1
 	return s
 }
@@ -42,7 +43,7 @@ func (s *State) N() int { return s.n }
 
 // Clone returns a deep copy sharing no state (the clone gets a derived RNG).
 func (s *State) Clone() *State {
-	c := &State{n: s.n, amps: make([]complex128, len(s.amps)), rng: rand.New(rand.NewSource(s.rng.Int63()))}
+	c := &State{n: s.n, amps: make([]complex128, len(s.amps)), rng: xrand.New(s.rng.Int63())}
 	copy(c.amps, s.amps)
 	return c
 }

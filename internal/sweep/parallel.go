@@ -1,0 +1,43 @@
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(i) for every i in [0, n) across a bounded pool of
+// GOMAXPROCS workers (the same shape as core.RunShots' shot pool). Each
+// index runs exactly once; fn must write only to its own index's slots so
+// results land in deterministic positions regardless of scheduling. The
+// sweep grids use it to evaluate design points concurrently: every point
+// is a pure function of (index, measured rates), so parallel execution is
+// observationally identical to the serial loop.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,44 @@
+package sweep
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		hits := make([]atomic.Int32, n)
+		parallelFor(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, got)
+			}
+		}
+	}
+}
+
+// TestParallelSweepDeterministic is the regression for the parallel
+// sweep grids: identically-seeded runs must produce byte-identical
+// Results (series values, ordering, anchors) regardless of how the
+// worker pool schedules the grid points. Run with -race.
+func TestParallelSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full sweeps twice")
+	}
+	for _, tc := range []struct {
+		name string
+		run  func() Result
+	}{
+		{"fig5", func() Result { return Fig5(71) }},
+		{"fig14", func() Result { return Fig14(71) }},
+		{"fig17", func() Result { return Fig17(71) }},
+		{"fig19", func() Result { return Fig19(71) }},
+		{"threshold", func() Result { return ThresholdStudy(60, 71) }},
+	} {
+		a, b := tc.run(), tc.run()
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: identically-seeded parallel runs differ:\n%v\nvs\n%v", tc.name, a, b)
+		}
+	}
+}

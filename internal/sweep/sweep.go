@@ -64,6 +64,12 @@ func (r Result) String() string {
 	return sb.String()
 }
 
+// gridSeries returns a Series with n preallocated points, ready for
+// index-addressed parallel fills.
+func gridSeries(name string, n int) Series {
+	return Series{Name: name, X: make([]float64, n), Y: make([]float64, n)}
+}
+
 // qubitGrid returns a geometric sweep grid up to max.
 func qubitGrid(max int) []int {
 	var out []int
@@ -86,20 +92,20 @@ func Fig5(seed int64) Result {
 		Anchors: map[string][2]float64{},
 	}
 	const windows = 300 // 100 PPRs x 3 ESM windows
-	var succ, bw, lat, heat Series
-	succ.Name, bw.Name, lat.Name, heat.Name = "success-rate", "inst-bandwidth-gbps", "decode-latency-ns", "cross-heat-w"
-	for _, n := range qubitGrid(40000) {
+	grid := qubitGrid(40000)
+	succ := gridSeries("success-rate", len(grid))
+	bw := gridSeries("inst-bandwidth-gbps", len(grid))
+	lat := gridSeries("decode-latency-ns", len(grid))
+	heat := gridSeries("cross-heat-w", len(grid))
+	parallelFor(len(grid), func(i int) {
+		n := grid[i]
 		rep := sys.Evaluate(n, r)
 		x := float64(n)
-		succ.X = append(succ.X, x)
-		succ.Y = append(succ.Y, sys.SuccessRate(n, windows, r))
-		bw.X = append(bw.X, x)
-		bw.Y = append(bw.Y, rep.InstBandwidthGbps)
-		lat.X = append(lat.X, x)
-		lat.Y = append(lat.Y, rep.DecodeLatencyNs)
-		heat.X = append(heat.X, x)
-		heat.Y = append(heat.Y, rep.CrossHeatW)
-	}
+		succ.X[i], succ.Y[i] = x, sys.SuccessRate(n, windows, r)
+		bw.X[i], bw.Y[i] = x, rep.InstBandwidthGbps
+		lat.X[i], lat.Y[i] = x, rep.DecodeLatencyNs
+		heat.X[i], heat.Y[i] = x, rep.CrossHeatW
+	})
 	res.Series = []Series{succ, bw, lat, heat}
 	res.Anchors["bandwidth red line (Gbps)"] = [2]float64{480, config.MaxCrossBandwidthGbps()}
 	res.Anchors["decode red line (ns)"] = [2]float64{1010, config.DecodeBudgetNs()}
@@ -162,17 +168,18 @@ func Fig14(seed int64) Result {
 		Title:   "current system (300K CMOS) scalability",
 		Anchors: map[string][2]float64{},
 	}
-	var latB, latO, heat Series
-	latB.Name, latO.Name, heat.Name = "decode-ns-baseline", "decode-ns-opt1", "cross-heat-w"
-	for _, n := range qubitGrid(30000) {
+	grid := qubitGrid(30000)
+	latB := gridSeries("decode-ns-baseline", len(grid))
+	latO := gridSeries("decode-ns-opt1", len(grid))
+	heat := gridSeries("cross-heat-w", len(grid))
+	parallelFor(len(grid), func(i int) {
+		n := grid[i]
 		x := float64(n)
-		latB.X = append(latB.X, x)
-		latB.Y = append(latB.Y, base.Evaluate(n, rRR).DecodeLatencyNs)
-		latO.X = append(latO.X, x)
-		latO.Y = append(latO.Y, opt.Evaluate(n, rPr).DecodeLatencyNs)
-		heat.X = append(heat.X, x)
-		heat.Y = append(heat.Y, base.Evaluate(n, rRR).CrossHeatW)
-	}
+		repB := base.Evaluate(n, rRR)
+		latB.X[i], latB.Y[i] = x, repB.DecodeLatencyNs
+		latO.X[i], latO.Y[i] = x, opt.Evaluate(n, rPr).DecodeLatencyNs
+		heat.X[i], heat.Y[i] = x, repB.CrossHeatW
+	})
 	res.Series = []Series{latB, latO, heat}
 	res.Anchors["decode limit baseline"] = [2]float64{250, float64(base.ConstraintLimit(rRR, decodeOK))}
 	res.Anchors["decode limit with Opt#1"] = [2]float64{9800, float64(opt.ConstraintLimit(rPr, decodeOK))}
@@ -230,17 +237,21 @@ func Fig17(seed int64) Result {
 		Title:   "near-future system scalability (RSFQ and 4K CMOS)",
 		Anchors: map[string][2]float64{},
 	}
-	var pr, po, cr, co Series
-	pr.Name, po.Name, cr.Name, co.Name = "rsfq-4k-power-w", "rsfq-opt-4k-power-w", "cmos-4k-power-w", "cmos-vs-4k-power-w"
 	rsfqB, rsfqO := core.NearFutureRSFQ(d, false), core.NearFutureRSFQ(d, true)
 	cmosB, cmosO := core.NearFutureCMOS4K(d, false), core.NearFutureCMOS4K(d, true)
-	for _, n := range qubitGrid(60000) {
+	grid := qubitGrid(60000)
+	pr := gridSeries("rsfq-4k-power-w", len(grid))
+	po := gridSeries("rsfq-opt-4k-power-w", len(grid))
+	cr := gridSeries("cmos-4k-power-w", len(grid))
+	co := gridSeries("cmos-vs-4k-power-w", len(grid))
+	parallelFor(len(grid), func(i int) {
+		n := grid[i]
 		x := float64(n)
-		pr.X, pr.Y = append(pr.X, x), append(pr.Y, rsfqB.Evaluate(n, r).Power4KW)
-		po.X, po.Y = append(po.X, x), append(po.Y, rsfqO.Evaluate(n, r).Power4KW)
-		cr.X, cr.Y = append(cr.X, x), append(cr.Y, cmosB.Evaluate(n, r).Power4KW)
-		co.X, co.Y = append(co.X, x), append(co.Y, cmosO.Evaluate(n, r).Power4KW)
-	}
+		pr.X[i], pr.Y[i] = x, rsfqB.Evaluate(n, r).Power4KW
+		po.X[i], po.Y[i] = x, rsfqO.Evaluate(n, r).Power4KW
+		cr.X[i], cr.Y[i] = x, cmosB.Evaluate(n, r).Power4KW
+		co.X[i], co.Y[i] = x, cmosO.Evaluate(n, r).Power4KW
+	})
 	res.Series = []Series{pr, po, cr, co}
 	res.Anchors["RSFQ power limit (baseline)"] = [2]float64{970, float64(rsfqB.ConstraintLimit(r, powerOK))}
 	res.Anchors["RSFQ limit with Opts #2,#3"] = [2]float64{4600, float64(rsfqO.ConstraintLimit(r, powerOK))}
@@ -293,14 +304,17 @@ func Fig19(seed int64) Result {
 		Title:   "future system (ERSFQ) scalability",
 		Anchors: map[string][2]float64{},
 	}
-	var pw, pe, pf Series
-	pw.Name, pe.Name, pf.Name = "power-w-base", "power-w-edu4k", "power-w-final"
-	for _, n := range qubitGrid(150000) {
+	grid := qubitGrid(150000)
+	pw := gridSeries("power-w-base", len(grid))
+	pe := gridSeries("power-w-edu4k", len(grid))
+	pf := gridSeries("power-w-final", len(grid))
+	parallelFor(len(grid), func(i int) {
+		n := grid[i]
 		x := float64(n)
-		pw.X, pw.Y = append(pw.X, x), append(pw.Y, base.Evaluate(n, rPr).Power4KW)
-		pe.X, pe.Y = append(pe.X, x), append(pe.Y, edu4k.Evaluate(n, rPr).Power4KW)
-		pf.X, pf.Y = append(pf.X, x), append(pf.Y, final.Evaluate(n, rPS).Power4KW)
-	}
+		pw.X[i], pw.Y[i] = x, base.Evaluate(n, rPr).Power4KW
+		pe.X[i], pe.Y[i] = x, edu4k.Evaluate(n, rPr).Power4KW
+		pf.X[i], pf.Y[i] = x, final.Evaluate(n, rPS).Power4KW
+	})
 	res.Series = []Series{pw, pe, pf}
 	res.Anchors["ERSFQ power limit (EDU at 300K)"] = [2]float64{102000, float64(base.ConstraintLimit(rPr, powerOK))}
 	res.Anchors["decode limit (EDU at 300K)"] = [2]float64{9800, float64(base.ConstraintLimit(rPr, decodeOK))}
@@ -493,17 +507,19 @@ func AblationCodeDistance(seed int64) Result {
 		Title:   "code-distance ablation for the final design",
 		Anchors: map[string][2]float64{},
 	}
-	var phys, logical Series
-	phys.Name, logical.Name = "max-physical-qubits", "logical-qubit-capacity"
-	for _, d := range []int{7, 9, 11, 15, 19} {
+	ds := []int{7, 9, 11, 15, 19}
+	phys := gridSeries("max-physical-qubits", len(ds))
+	logical := gridSeries("logical-qubit-capacity", len(ds))
+	// Each distance needs its own full-pipeline rate measurement — the
+	// dominant cost of this sweep — so the points run concurrently.
+	parallelFor(len(ds), func(i int) {
+		d := ds[i]
 		r := core.MeasureRates(d, config.PhysErrorRate, decoder.SchemePatchSliding, seed)
 		sys := core.FutureSystem(d, true, true)
 		n := sys.MaxQubits(r)
-		phys.X = append(phys.X, float64(d))
-		phys.Y = append(phys.Y, float64(n))
-		logical.X = append(logical.X, float64(d))
-		logical.Y = append(logical.Y, float64(estimator.ScaleFor(n, d).NLQ))
-	}
+		phys.X[i], phys.Y[i] = float64(d), float64(n)
+		logical.X[i], logical.Y[i] = float64(d), float64(estimator.ScaleFor(n, d).NLQ)
+	})
 	res.Series = []Series{phys, logical}
 	res.Anchors["physical scale at d=15"] = [2]float64{59000, phys.Y[3]}
 	return res

@@ -1,6 +1,8 @@
 package synth
 
 import (
+	"sync"
+
 	"xqsim/internal/netlist"
 )
 
@@ -48,16 +50,29 @@ func StatsOf(nl *netlist.Netlist) BlockStats {
 	return BlockStats{Name: nl.Name, JJ: jj, CMOSGates: cmos, Depth: s.PipelineDepth}
 }
 
-// blockCache avoids regenerating canonical blocks.
-var blockCache = map[string]BlockStats{}
+// blockCache avoids regenerating canonical blocks. The mutex makes it
+// safe under the parallel sweep grids, which evaluate design points (and
+// hence synthesize blocks) from several goroutines at once.
+var (
+	blockCacheMu sync.Mutex
+	blockCache   = map[string]BlockStats{}
+)
 
 func cached(name string, gen func() *netlist.Netlist) BlockStats {
+	blockCacheMu.Lock()
 	if s, ok := blockCache[name]; ok {
+		blockCacheMu.Unlock()
 		return s
 	}
+	blockCacheMu.Unlock()
+	// Generate outside the lock: block generation is pure, so a racing
+	// duplicate generation is harmless and cheaper than serializing all
+	// synthesis behind one mutex.
 	s := StatsOf(gen())
 	s.Name = name
+	blockCacheMu.Lock()
 	blockCache[name] = s
+	blockCacheMu.Unlock()
 	return s
 }
 
