@@ -8,50 +8,56 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"xqsim"
 )
 
-func show(name string, sys *xqsim.System, r xqsim.Rates, paper int) {
+func show(w io.Writer, name string, sys *xqsim.System, r xqsim.Rates, paper int) {
 	n := sys.MaxQubits(r)
 	rep := sys.Evaluate(n+1, r)
 	bottleneck := "none"
 	if v := rep.Violations(); len(v) > 0 {
 		bottleneck = v[0]
 	}
-	fmt.Printf("  %-34s %7d qubits (paper ~%d), next bottleneck: %s\n",
+	fmt.Fprintf(w, "  %-34s %7d qubits (paper ~%d), next bottleneck: %s\n",
 		name, n, paper, bottleneck)
 }
 
-func main() {
+func run(w io.Writer) {
 	d := 15
-	fmt.Println("measuring microscopic rates from the cycle-accurate pipeline...")
+	fmt.Fprintln(w, "measuring microscopic rates from the cycle-accurate pipeline...")
 	rRR := xqsim.MeasureRates(d, 0.001, xqsim.SchemeRoundRobin, 1)
 	rPr := xqsim.MeasureRates(d, 0.001, xqsim.SchemePriority, 1)
 	rPS := xqsim.MeasureRates(d, 0.001, xqsim.SchemePatchSliding, 1)
 
-	fmt.Println("\n[1] current system: 300 K CMOS (Fig. 14)")
-	show("baseline (round-robin EDU)", xqsim.CurrentSystem(d, false), rRR, 250)
-	show("+ Opt#1 priority token setup", xqsim.CurrentSystem(d, true), rPr, 1700)
+	fmt.Fprintln(w, "\n[1] current system: 300 K CMOS (Fig. 14)")
+	show(w, "baseline (round-robin EDU)", xqsim.CurrentSystem(d, false), rRR, 250)
+	show(w, "+ Opt#1 priority token setup", xqsim.CurrentSystem(d, true), rPr, 1700)
 
-	fmt.Println("\n[2] near-future: PSU/TCU at 4 K (Guideline #1, Fig. 17)")
-	show("RSFQ, baseline units", xqsim.NearFutureRSFQ(d, false), rPr, 970)
-	show("RSFQ + Opts #2,#3", xqsim.NearFutureRSFQ(d, true), rPr, 4600)
-	show("4K CMOS, baseline", xqsim.NearFutureCMOS4K(d, false), rPr, 1400)
-	show("4K CMOS + voltage scaling", xqsim.NearFutureCMOS4K(d, true), rPr, 9800)
+	fmt.Fprintln(w, "\n[2] near-future: PSU/TCU at 4 K (Guideline #1, Fig. 17)")
+	show(w, "RSFQ, baseline units", xqsim.NearFutureRSFQ(d, false), rPr, 970)
+	show(w, "RSFQ + Opts #2,#3", xqsim.NearFutureRSFQ(d, true), rPr, 4600)
+	show(w, "4K CMOS, baseline", xqsim.NearFutureCMOS4K(d, false), rPr, 1400)
+	show(w, "4K CMOS + voltage scaling", xqsim.NearFutureCMOS4K(d, true), rPr, 9800)
 
-	fmt.Println("\n[3] future: ERSFQ (Guideline #2, Fig. 19)")
-	show("ERSFQ PSU/TCU (EDU at 300K)", xqsim.FutureSystem(d, false, false), rPr, 9800)
-	show("+ ERSFQ EDU at 4K", xqsim.FutureSystem(d, true, false), rPr, 8100)
-	show("+ Opt#4 patch-sliding EDU", xqsim.FutureSystem(d, true, true), rPS, 59000)
+	fmt.Fprintln(w, "\n[3] future: ERSFQ (Guideline #2, Fig. 19)")
+	show(w, "ERSFQ PSU/TCU (EDU at 300K)", xqsim.FutureSystem(d, false, false), rPr, 9800)
+	show(w, "+ ERSFQ EDU at 4K", xqsim.FutureSystem(d, true, false), rPr, 8100)
+	show(w, "+ Opt#4 patch-sliding EDU", xqsim.FutureSystem(d, true, true), rPS, 59000)
 
 	final := xqsim.FutureSystem(d, true, true)
 	n := final.MaxQubits(rPS)
 	rep := final.Evaluate(n, rPS)
-	fmt.Printf("\nfinal design point at %d qubits:\n", n)
-	fmt.Printf("  instruction bandwidth: %.0f Gbps (internal 4K links)\n", rep.InstBandwidthGbps)
-	fmt.Printf("  decode latency:        %.0f ns (budget %.0f ns)\n", rep.DecodeLatencyNs, 1010.0)
-	fmt.Printf("  4K device power:       %.3f W (budget 1.5 W)\n", rep.Power4KW)
-	fmt.Printf("  4K device area:        %.0f cm^2 (budget 620 cm^2)\n", rep.Area4KCm2)
-	fmt.Printf("  logical qubits at d=%d: ~%d\n", d, xqsim.ScaleFor(n, d).NLQ)
+	fmt.Fprintf(w, "\nfinal design point at %d qubits:\n", n)
+	fmt.Fprintf(w, "  instruction bandwidth: %.0f Gbps (internal 4K links)\n", rep.InstBandwidthGbps)
+	fmt.Fprintf(w, "  decode latency:        %.0f ns (budget %.0f ns)\n", rep.DecodeLatencyNs, 1010.0)
+	fmt.Fprintf(w, "  4K device power:       %.3f W (budget 1.5 W)\n", rep.Power4KW)
+	fmt.Fprintf(w, "  4K device area:        %.0f cm^2 (budget 620 cm^2)\n", rep.Area4KCm2)
+	fmt.Fprintf(w, "  logical qubits at d=%d: ~%d\n", d, xqsim.ScaleFor(n, d).NLQ)
+}
+
+func main() {
+	run(os.Stdout)
 }

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun exercises the full Section 5 narrative so `go test ./...`
+// covers the example end to end, and pins the shape of its report.
+func TestRun(t *testing.T) {
+	var sb strings.Builder
+	run(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"[1] current system: 300 K CMOS",
+		"[2] near-future: PSU/TCU at 4 K",
+		"[3] future: ERSFQ",
+		"final design point at",
+		"instruction bandwidth:",
+		"decode latency:",
+		"logical qubits at d=15:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Every scaling step prints a qubit count; none may be zero.
+	if strings.Contains(out, " 0 qubits") {
+		t.Errorf("a system scaled to zero qubits:\n%s", out)
+	}
+}

@@ -1,0 +1,30 @@
+package config
+
+import "testing"
+
+// FuzzConfig pushes arbitrary text through the Params parser: it must
+// never panic, and everything it accepts must be valid, render back to
+// text, and re-parse to the identical Params (a full round trip).
+func FuzzConfig(f *testing.F) {
+	f.Add("")
+	f.Add(DefaultParams().String())
+	f.Add("# comment\nphys_error_rate = 0.005\ncode_distance = 7\n")
+	f.Add("t_1q_ns = 20\nt_2q_ns = 30\nt_meas_ns = 500\n")
+	f.Add("power_4k_w = 2.5\ncable_gbps = 20\ncable_heat_w = 0.02\ncodeword_bits = 32\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParseParams(src)
+		if err != nil {
+			t.Skip()
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ParseParams returned invalid Params: %v\ninput:\n%s", err, src)
+		}
+		back, err := ParseParams(p.String())
+		if err != nil {
+			t.Fatalf("re-parse of rendered Params errored: %v\nrendered:\n%s", err, p.String())
+		}
+		if back != p {
+			t.Fatalf("Params round trip diverged:\n%+v\nvs\n%+v", p, back)
+		}
+	})
+}

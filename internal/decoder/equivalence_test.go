@@ -39,7 +39,7 @@ func randomSyndrome(r *rand.Rand, c surface.Code, basis pauli.Pauli, dense bool)
 
 // TestBitmapEquivalence asserts the bit-packed decoder returns identical
 // Results (matches, corrections, order) to the seed's map-based
-// implementation (frozen in reference_test.go) across random syndromes.
+// implementation (frozen in reference.go) across random syndromes.
 func TestBitmapEquivalence(t *testing.T) {
 	r := rand.New(rand.NewSource(41))
 	for _, d := range []int{3, 5, 7} {
@@ -47,7 +47,7 @@ func TestBitmapEquivalence(t *testing.T) {
 		for _, basis := range []pauli.Pauli{pauli.Z, pauli.X} {
 			for trial := 0; trial < 200; trial++ {
 				syn := randomSyndrome(r, c, basis, trial%5 == 0)
-				want := refDecodePatch(c, basis, syn)
+				want := ReferenceDecodePatch(c, basis, syn)
 				got := DecodePatch(c, basis, syn)
 				if !resultsEqual(want, got) {
 					t.Fatalf("d=%d basis=%v trial=%d:\nref %+v\ngot %+v", d, basis, trial, want, got)
@@ -71,7 +71,7 @@ func TestBitmapEquivalenceFromErrors(t *testing.T) {
 				errs = append(errs, surface.Coord{Row: r.Intn(d), Col: r.Intn(d)})
 			}
 			syn := SyndromeOf(c, basis, errs)
-			want := refDecodePatch(c, basis, syn)
+			want := ReferenceDecodePatch(c, basis, syn)
 			got := DecodePatch(c, basis, syn)
 			if !resultsEqual(want, got) {
 				t.Fatalf("d=%d basis=%v errs=%v:\nref %+v\ngot %+v", d, basis, errs, want, got)
@@ -100,7 +100,7 @@ func TestGreedyFallbackEquivalence(t *testing.T) {
 		if n <= maxExactCluster {
 			continue
 		}
-		want := refDecodePatch(c, pauli.Z, syn)
+		want := ReferenceDecodePatch(c, pauli.Z, syn)
 		got := DecodePatch(c, pauli.Z, syn)
 		if !resultsEqual(want, got) {
 			t.Fatalf("trial=%d (n=%d): greedy fallback diverged", trial, n)
@@ -122,7 +122,7 @@ func TestScratchReuseIsolation(t *testing.T) {
 		syn := randomSyndrome(r, c, basis, trial%7 == 0)
 		bm.FromMap(syn)
 		DecodePatchInto(c, basis, bm, &sc, &res)
-		want := refDecodePatch(c, basis, syn)
+		want := ReferenceDecodePatch(c, basis, syn)
 		if !resultsEqual(want, res) {
 			t.Fatalf("trial=%d: scratch reuse diverged:\nref %+v\ngot %+v", trial, want, res)
 		}

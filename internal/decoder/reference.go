@@ -1,9 +1,11 @@
 package decoder
 
 // This file freezes the seed's map-based decoder implementation verbatim
-// (modulo ref* renames). It exists only as the oracle for the equivalence
-// tests: the bit-packed, allocation-free hot path in decoder.go must
-// return byte-identical Results for every syndrome.
+// (modulo ref* renames). It is the oracle of the differential harness:
+// the bit-packed, allocation-free hot path in decoder.go must return
+// byte-identical Results for every syndrome. The equivalence tests, the
+// FuzzDecodePatch target, and internal/verify's decoder check all pin
+// the production path to this implementation — do not "optimize" it.
 
 import (
 	"sort"
@@ -12,7 +14,11 @@ import (
 	"xqsim/internal/surface"
 )
 
-func refDecodePatch(c surface.Code, basis pauli.Pauli, syndrome map[surface.Coord]bool) Result {
+// ReferenceDecodePatch decodes one patch window with the frozen
+// reference matcher. It is deliberately simple and allocation-heavy;
+// production callers use DecodePatch / DecodePatchInto, which must stay
+// result-identical to this function.
+func ReferenceDecodePatch(c surface.Code, basis pauli.Pauli, syndrome map[surface.Coord]bool) Result {
 	cells := make([]surface.Coord, 0, len(syndrome))
 	for p, on := range syndrome {
 		if on {

@@ -1,0 +1,69 @@
+package isa
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzAsm feeds fuzzer-mutated assembly text through the assembler and
+// asserts the round-trip laws on everything it accepts: disassembly must
+// be a textual fixed point of the assemble/disassemble pair, the
+// re-assembled program must equal the original instruction-for-
+// instruction, and the binary encoding must be lossless.
+func FuzzAsm(f *testing.F) {
+	f.Add("RUN_ESM off=2\n")
+	f.Add("LQM_Z off=3 mreg=17 flags=0x21 paulis=48:X,50:Z,61:Y\n")
+	f.Add("LQM_X off=1 paulis=16:Z ; trailing comment\n")
+	f.Add("PPM_INTERPRET mreg=4095\nLQM_FM off=0 paulis=5:Y\n")
+	f.Add("MERGE_INFO\nSPLIT_INFO\n\n; comment only\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			t.Skip()
+		}
+		if len(p) == 0 || len(p) > 1024 {
+			// An empty source assembles to a nil program; round-tripping
+			// it only exercises nil-vs-empty slice conventions.
+			t.Skip()
+		}
+
+		text := Disassemble(p)
+		p2, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("Assemble(Disassemble(p)) errored: %v\ninput:\n%s\ndisassembly:\n%s", err, src, text)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("assemble/disassemble round trip diverged\ninput:\n%s\nfirst:\n%v\nsecond:\n%v", src, p, p2)
+		}
+		if text2 := Disassemble(p2); text2 != text {
+			t.Fatalf("disassembly is not a fixed point:\n%q\nvs\n%q", text, text2)
+		}
+
+		bin := p.EncodeBinary()
+		back, err := DecodeBinary(bin)
+		if err != nil {
+			t.Fatalf("DecodeBinary(EncodeBinary(p)) errored: %v", err)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Fatalf("binary round trip diverged:\n%v\nvs\n%v", p, back)
+		}
+	})
+}
+
+// FuzzDecodeBinary pushes arbitrary bytes through the binary decoder: it
+// must never panic, and every program it accepts must re-encode to the
+// identical bytes.
+func FuzzDecodeBinary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(Program{{Op: RunESM, Flags: 0x21, MregDst: 17, Offset: 3, Target: 0xdeadbeef}}.EncodeBinary())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeBinary(data)
+		if err != nil {
+			t.Skip()
+		}
+		if got := p.EncodeBinary(); !reflect.DeepEqual(got, data) {
+			t.Fatalf("EncodeBinary(DecodeBinary(b)) != b:\n% x\nvs\n% x", data, got)
+		}
+	})
+}

@@ -21,35 +21,55 @@ var (
 // stop function finishes the CPU profile and, when -memprofile was
 // given, snapshots the heap after a final GC; defer it in main.
 func Start() (stop func()) {
-	var cpuFile *os.File
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
+	stopPaths, err := StartPaths(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prof:", err)
+		os.Exit(1)
+	}
+	return func() {
+		if err := stopPaths(); err != nil {
 			fmt.Fprintln(os.Stderr, "prof:", err)
-			os.Exit(1)
+		}
+	}
+}
+
+// StartPaths is the testable core of Start: it profiles to explicit
+// paths instead of the flag values and returns errors instead of
+// exiting. An empty path disables that profile. The returned stop
+// function finishes the CPU profile and writes the heap snapshot; it is
+// non-nil whenever err is nil.
+func StartPaths(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "prof:", err)
-			os.Exit(1)
+			f.Close()
+			return nil, err
 		}
 		cpuFile = f
 	}
-	return func() {
+	return func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
-			cpuFile.Close()
-		}
-		if *memProfile != "" {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "prof:", err)
-				return
+			if err := cpuFile.Close(); err != nil {
+				return err
 			}
-			defer f.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "prof:", err)
+				f.Close()
+				return err
 			}
+			return f.Close()
 		}
-	}
+		return nil
+	}, nil
 }

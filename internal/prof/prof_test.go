@@ -1,0 +1,79 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartPathsWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := StartPaths(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartPathsDisabled(t *testing.T) {
+	stop, err := StartPaths("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartPathsCPUUnwritable(t *testing.T) {
+	stop, err := StartPaths(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof"), "")
+	if err == nil {
+		stop()
+		t.Fatal("unwritable cpu path accepted")
+	}
+}
+
+func TestStartPathsMemUnwritable(t *testing.T) {
+	// The CPU side is disabled; the bad heap path must surface from stop.
+	stop, err := StartPaths("", filepath.Join(t.TempDir(), "no", "such", "dir", "mem.pprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("unwritable mem path accepted")
+	}
+}
+
+func TestStartPathsDoubleStart(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := StartPaths(filepath.Join(dir, "a.pprof"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	// A second CPU profile while one is running must error, not crash.
+	stop2, err := StartPaths(filepath.Join(dir, "b.pprof"), "")
+	if err == nil {
+		stop2()
+		t.Fatal("concurrent CPU profiles accepted")
+	}
+}

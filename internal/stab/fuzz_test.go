@@ -1,0 +1,35 @@
+package stab_test
+
+import (
+	"testing"
+
+	"xqsim/internal/verify"
+)
+
+// FuzzTableau feeds fuzzer-mutated circuit dumps through the lockstep
+// co-simulation: the tableau and a dense state vector step through the
+// circuit together and the full quantum state is compared after every
+// op, with the final record pinned to Circuit.SimulateTableau. The text
+// format is verify.ParseCircuit's; inputs it rejects are skipped, so the
+// fuzzer explores the space of *valid* circuits.
+func FuzzTableau(f *testing.F) {
+	f.Add("qubits 2\nH 0\nCX 0 1\nMZ 0\nMZ 1\n", int64(1))
+	f.Add("qubits 1\nH 0\nS 0\nS 0\nH 0\nMZ 0\n", int64(2))
+	f.Add("qubits 3\nH 0\nCX 0 1\nCZ 1 2\nY 2\nZ 0\nRESET 1\nMZ 0\nMZ 1\nMZ 2\n", int64(3))
+	f.Add("qubits 2\nDEP1 0 0.5\nFLIPX 1 0.25\nFLIPZ 0 0.125\nMZ 0\nMZ 1\n", int64(4))
+	f.Add("qubits 4\nH 3\nCX 3 0\nS 2\nX 1\nMZ 3\nRESET 3\nMZ 3\nMZ 0\n", int64(5))
+	f.Fuzz(func(t *testing.T, src string, seed int64) {
+		c, err := verify.ParseCircuit(src)
+		if err != nil {
+			t.Skip()
+		}
+		// Lockstep itself rejects oversized qubit counts; bound the op
+		// count so one input stays cheap.
+		if c.N > 8 || len(c.Ops) > 96 {
+			t.Skip()
+		}
+		if err := verify.Lockstep(c, seed); err != nil {
+			t.Fatalf("lockstep diverged (seed=%d):\n%s\n%v", seed, verify.DumpCircuit(c), err)
+		}
+	})
+}

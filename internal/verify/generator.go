@@ -1,0 +1,267 @@
+// Package verify is the cross-layer differential-verification harness:
+// it generates random scenarios — Clifford circuits, Pauli products, ISA
+// programs, syndrome patterns — and checks every simulator layer against
+// an independent oracle.
+//
+// The layering mirrors the paper's Section 5 validation methodology:
+// there, XQ-simulator outputs are cross-checked against Qiskit (exact
+// state vectors) and Stim (stabilizer sampling) on hand-picked
+// benchmarks. Here the same pairings run continuously over *generated*
+// inputs: the stabilizer tableau and the Pauli-frame sampler are checked
+// against exact state-vector probabilities, the Pauli algebra against
+// state-vector conjugation, the assembler against itself (round-trip
+// fixed points), and the bit-packed decoder against the frozen reference
+// matcher.
+//
+// Every randomized check is a pure function of one int64 seed drawn
+// through xrand, so a failure is a two-word repro (check name + seed)
+// that replays byte-identically on any machine; circuit-shaped failures
+// additionally carry a textual dump (see DumpCircuit) and are shrunk to
+// a minimal failing circuit before being reported.
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"xqsim/internal/stab"
+	"xqsim/internal/xrand"
+)
+
+// CircuitShape bounds the random-circuit generator.
+type CircuitShape struct {
+	// MaxQubits caps the qubit count (the oracle is exponential in it).
+	MaxQubits int
+	// MaxGates caps the Clifford gate count.
+	MaxGates int
+	// MaxMeasure caps the number of Z measurements (the oracle record
+	// space is 2^measurements).
+	MaxMeasure int
+	// MaxNoise caps the number of Pauli noise channels; 0 generates
+	// noiseless circuits. The oracle branches over every channel, so
+	// this multiplies oracle work by up to 4^MaxNoise.
+	MaxNoise int
+}
+
+// noiseProbs are the channel probabilities the generator draws from.
+// They are deliberately large: verification wants noise that visibly
+// reshapes the measurement distribution within a few thousand shots, not
+// the 1e-3 physical rates the scalability studies use.
+var noiseProbs = []float64{0.125, 0.25, 0.5}
+
+// RandomCircuit generates a random Clifford circuit with Pauli noise as
+// a pure function of seed: the same seed always yields the same circuit.
+// The circuit always ends with at least one measurement.
+func RandomCircuit(seed int64, shape CircuitShape) *stab.Circuit {
+	rng := xrand.New(seed)
+	n := 1 + rng.Intn(shape.MaxQubits)
+	c := stab.NewCircuit(n)
+	gates := 1 + rng.Intn(shape.MaxGates)
+	measures := 1 + rng.Intn(shape.MaxMeasure)
+	noise := 0
+	if shape.MaxNoise > 0 {
+		noise = rng.Intn(shape.MaxNoise + 1)
+	}
+	// Interleave gates, noise and all-but-one measurement uniformly;
+	// the final measurement is appended last so the record is never empty.
+	type slot int
+	const (
+		slotGate slot = iota
+		slotNoise
+		slotMeasure
+	)
+	slots := make([]slot, 0, gates+noise+measures-1)
+	for i := 0; i < gates; i++ {
+		slots = append(slots, slotGate)
+	}
+	for i := 0; i < noise; i++ {
+		slots = append(slots, slotNoise)
+	}
+	for i := 0; i < measures-1; i++ {
+		slots = append(slots, slotMeasure)
+	}
+	rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+	for _, s := range slots {
+		switch s {
+		case slotGate:
+			appendRandomGate(c, rng)
+		case slotNoise:
+			appendRandomNoise(c, rng)
+		case slotMeasure:
+			c.MeasureZ(rng.Intn(n))
+		}
+	}
+	c.MeasureZ(rng.Intn(n))
+	return c
+}
+
+func appendRandomGate(c *stab.Circuit, rng *rand.Rand) {
+	n := c.N
+	switch k := rng.Intn(8); k {
+	case 0:
+		c.H(rng.Intn(n))
+	case 1:
+		c.S(rng.Intn(n))
+	case 2, 3:
+		if n < 2 {
+			c.H(rng.Intn(n))
+			return
+		}
+		a := rng.Intn(n)
+		b := rng.Intn(n - 1)
+		if b >= a {
+			b++
+		}
+		if k == 2 {
+			c.CX(a, b)
+		} else {
+			c.CZ(a, b)
+		}
+	case 4:
+		c.X(rng.Intn(n))
+	case 5:
+		c.Ops = append(c.Ops, stab.Op{Kind: stab.OpY, A: rng.Intn(n)})
+	case 6:
+		c.Ops = append(c.Ops, stab.Op{Kind: stab.OpZ, A: rng.Intn(n)})
+	case 7:
+		c.Reset(rng.Intn(n))
+	}
+}
+
+func appendRandomNoise(c *stab.Circuit, rng *rand.Rand) {
+	q := rng.Intn(c.N)
+	p := noiseProbs[rng.Intn(len(noiseProbs))]
+	switch rng.Intn(3) {
+	case 0:
+		c.FlipX(q, p)
+	case 1:
+		c.FlipZ(q, p)
+	case 2:
+		c.Depolarize1(q, p)
+	}
+}
+
+// opNames maps OpKind to its dump mnemonic.
+var opNames = map[stab.OpKind]string{
+	stab.OpH:           "H",
+	stab.OpS:           "S",
+	stab.OpCX:          "CX",
+	stab.OpCZ:          "CZ",
+	stab.OpX:           "X",
+	stab.OpY:           "Y",
+	stab.OpZ:           "Z",
+	stab.OpMeasureZ:    "MZ",
+	stab.OpReset:       "RESET",
+	stab.OpDepolarize1: "DEP1",
+	stab.OpFlipX:       "FLIPX",
+	stab.OpFlipZ:       "FLIPZ",
+}
+
+// DumpCircuit renders a circuit in the textual repro format parsed by
+// ParseCircuit: a "qubits N" header, then one op per line.
+func DumpCircuit(c *stab.Circuit) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "qubits %d\n", c.N)
+	for _, op := range c.Ops {
+		name := opNames[op.Kind]
+		switch op.Kind {
+		case stab.OpCX, stab.OpCZ:
+			fmt.Fprintf(&sb, "%s %d %d\n", name, op.A, op.B)
+		case stab.OpDepolarize1, stab.OpFlipX, stab.OpFlipZ:
+			fmt.Fprintf(&sb, "%s %d %s\n", name, op.A, strconv.FormatFloat(op.P, 'g', -1, 64))
+		default:
+			fmt.Fprintf(&sb, "%s %d\n", name, op.A)
+		}
+	}
+	return sb.String()
+}
+
+// ParseCircuit parses the DumpCircuit format. Blank lines and lines
+// starting with '#' are ignored.
+func ParseCircuit(src string) (*stab.Circuit, error) {
+	var c *stab.Circuit
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if c == nil {
+			if fields[0] != "qubits" || len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: expected \"qubits N\" header, got %q", lineNo+1, line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("line %d: bad qubit count %q", lineNo+1, fields[1])
+			}
+			c = stab.NewCircuit(n)
+			continue
+		}
+		kind, ok := opKindOf(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("line %d: unknown op %q", lineNo+1, fields[0])
+		}
+		args := fields[1:]
+		q, err := parseQubit(args, 0, c.N)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+		}
+		op := stab.Op{Kind: kind, A: q}
+		switch kind {
+		case stab.OpCX, stab.OpCZ:
+			b, err := parseQubit(args, 1, c.N)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+			}
+			if len(args) != 2 {
+				return nil, fmt.Errorf("line %d: %s takes two qubits", lineNo+1, fields[0])
+			}
+			if b == q {
+				// CX/CZ with control == target is not a gate; the
+				// simulators' behavior on it is undefined.
+				return nil, fmt.Errorf("line %d: %s control and target coincide (q%d)", lineNo+1, fields[0], q)
+			}
+			op.B = b
+		case stab.OpDepolarize1, stab.OpFlipX, stab.OpFlipZ:
+			if len(args) != 2 {
+				return nil, fmt.Errorf("line %d: %s takes qubit and probability", lineNo+1, fields[0])
+			}
+			p, err := strconv.ParseFloat(args[1], 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("line %d: bad probability %q", lineNo+1, args[1])
+			}
+			op.P = p
+		default:
+			if len(args) != 1 {
+				return nil, fmt.Errorf("line %d: %s takes one qubit", lineNo+1, fields[0])
+			}
+		}
+		c.Ops = append(c.Ops, op)
+	}
+	if c == nil {
+		return nil, fmt.Errorf("verify: empty circuit dump")
+	}
+	return c, nil
+}
+
+func opKindOf(name string) (stab.OpKind, bool) {
+	for k, n := range opNames {
+		if n == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+func parseQubit(args []string, i, n int) (int, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("missing qubit operand")
+	}
+	q, err := strconv.Atoi(args[i])
+	if err != nil || q < 0 || q >= n {
+		return 0, fmt.Errorf("bad qubit %q (n=%d)", args[i], n)
+	}
+	return q, nil
+}

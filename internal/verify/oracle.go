@@ -1,0 +1,319 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"xqsim/internal/pauli"
+	"xqsim/internal/stab"
+	"xqsim/internal/statevec"
+)
+
+// Oracle limits: the record distribution branches over every measurement
+// outcome and every noise-channel realization, so its cost is bounded by
+// 2^measurements * 4^channels state vectors of 2^qubits amplitudes.
+const (
+	oracleMaxQubits   = 12
+	oracleMaxMeasure  = 20
+	oracleMaxBranches = 1 << 16
+)
+
+// probEps prunes branches whose probability is numerically zero. Clifford
+// measurement probabilities are exactly {0, 1/2, 1} up to float error, so
+// any branch below this threshold is a true zero.
+const probEps = 1e-9
+
+// branch is one path through the circuit's measurement/noise tree.
+type branch struct {
+	st  *statevec.State
+	p   float64
+	rec uint64
+}
+
+// RecordDistribution computes the exact probability of every measurement
+// record of the circuit by state-vector simulation, branching over random
+// measurement outcomes and Pauli noise realizations. Bit k of a record
+// key is the outcome of the k-th MeasureZ in program order. It returns
+// the distribution and the number of measurements, or an error when the
+// circuit exceeds the oracle's branching limits.
+//
+// This is the harness' ground truth: it shares no code with the
+// stabilizer tableau (internal/stab) beyond the circuit IR itself, so
+// agreement between the two is a genuine cross-implementation check —
+// the role Qiskit plays in the paper's Table 3 validation.
+func RecordDistribution(c *stab.Circuit) (map[uint64]float64, int, error) {
+	if c.N > oracleMaxQubits {
+		return nil, 0, fmt.Errorf("verify: oracle supports at most %d qubits, circuit has %d", oracleMaxQubits, c.N)
+	}
+	m := c.Measurements()
+	if m > oracleMaxMeasure {
+		return nil, 0, fmt.Errorf("verify: oracle supports at most %d measurements, circuit has %d", oracleMaxMeasure, m)
+	}
+	branches := []branch{{st: statevec.New(c.N, 0), p: 1}}
+	mi := 0
+	zprod := func(q int) pauli.Product {
+		pr := pauli.NewProduct(c.N)
+		pr.Ops[q] = pauli.Z
+		return pr
+	}
+	// splitPauli replaces branches with their images under a stochastic
+	// Pauli channel given as (probability, operator) choices.
+	splitPauli := func(choices []struct {
+		p  float64
+		op pauli.Pauli
+	}, q int) error {
+		next := make([]branch, 0, len(branches))
+		for _, b := range branches {
+			for _, ch := range choices {
+				if ch.p < probEps {
+					continue
+				}
+				nb := branch{st: b.st, p: b.p * ch.p, rec: b.rec}
+				if ch.op != pauli.I {
+					nb.st = b.st.Clone()
+					pr := pauli.NewProduct(c.N)
+					pr.Ops[q] = ch.op
+					nb.st.ApplyProduct(pr)
+				} else if len(choices) > 1 {
+					// The identity branch may share the state only if no
+					// sibling mutates it; siblings clone, so sharing is safe.
+					nb.st = b.st
+				}
+				next = append(next, nb)
+			}
+		}
+		if len(next) > oracleMaxBranches {
+			return fmt.Errorf("verify: oracle branch limit exceeded (%d)", len(next))
+		}
+		branches = next
+		return nil
+	}
+	// splitMeasure branches every state over a Z measurement of qubit q.
+	// record=true logs the outcome into the record; reset=true flips the
+	// qubit back to |0> afterwards (the Reset op).
+	splitMeasure := func(q int, record, reset bool) error {
+		pr := zprod(q)
+		next := make([]branch, 0, len(branches))
+		for _, b := range branches {
+			p0 := b.st.MeasureProductProb(pr)
+			if p0 > probEps {
+				st0 := b.st
+				if 1-p0 > probEps {
+					st0 = b.st.Clone()
+				}
+				st0.CollapseProduct(pr, false)
+				next = append(next, branch{st: st0, p: b.p * p0, rec: b.rec})
+			}
+			if 1-p0 > probEps {
+				st1 := b.st
+				st1.CollapseProduct(pr, true)
+				if reset {
+					st1.X(q)
+				}
+				rec := b.rec
+				if record {
+					rec |= 1 << uint(mi)
+				}
+				next = append(next, branch{st: st1, p: b.p * (1 - p0), rec: rec})
+			}
+		}
+		if len(next) > oracleMaxBranches {
+			return fmt.Errorf("verify: oracle branch limit exceeded (%d)", len(next))
+		}
+		branches = next
+		return nil
+	}
+	for _, op := range c.Ops {
+		var err error
+		switch op.Kind {
+		case stab.OpH:
+			for _, b := range branches {
+				b.st.H(op.A)
+			}
+		case stab.OpS:
+			for _, b := range branches {
+				b.st.S(op.A)
+			}
+		case stab.OpCX:
+			for _, b := range branches {
+				b.st.CX(op.A, op.B)
+			}
+		case stab.OpCZ:
+			for _, b := range branches {
+				b.st.CZ(op.A, op.B)
+			}
+		case stab.OpX:
+			for _, b := range branches {
+				b.st.X(op.A)
+			}
+		case stab.OpY:
+			for _, b := range branches {
+				b.st.Y(op.A)
+			}
+		case stab.OpZ:
+			for _, b := range branches {
+				b.st.Z(op.A)
+			}
+		case stab.OpMeasureZ:
+			err = splitMeasure(op.A, true, false)
+			mi++
+		case stab.OpReset:
+			err = splitMeasure(op.A, false, true)
+		case stab.OpFlipX:
+			err = splitPauli([]struct {
+				p  float64
+				op pauli.Pauli
+			}{{1 - op.P, pauli.I}, {op.P, pauli.X}}, op.A)
+		case stab.OpFlipZ:
+			err = splitPauli([]struct {
+				p  float64
+				op pauli.Pauli
+			}{{1 - op.P, pauli.I}, {op.P, pauli.Z}}, op.A)
+		case stab.OpDepolarize1:
+			err = splitPauli([]struct {
+				p  float64
+				op pauli.Pauli
+			}{{1 - op.P, pauli.I}, {op.P / 3, pauli.X}, {op.P / 3, pauli.Y}, {op.P / 3, pauli.Z}}, op.A)
+		default:
+			err = fmt.Errorf("verify: oracle cannot simulate op kind %d", op.Kind)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	dist := make(map[uint64]float64)
+	var total float64
+	for _, b := range branches {
+		dist[b.rec] += b.p
+		total += b.p
+	}
+	if math.Abs(total-1) > 1e-6 {
+		return nil, 0, fmt.Errorf("verify: oracle distribution sums to %g", total)
+	}
+	return dist, m, nil
+}
+
+// NoiselessSupport returns the sorted support of the circuit's noiseless
+// record distribution (noise channels stripped). For Clifford circuits
+// the noiseless distribution is uniform on this support.
+func NoiselessSupport(c *stab.Circuit) ([]uint64, error) {
+	bare := &stab.Circuit{N: c.N}
+	for _, op := range c.Ops {
+		switch op.Kind {
+		case stab.OpDepolarize1, stab.OpFlipX, stab.OpFlipZ:
+		default:
+			bare.Ops = append(bare.Ops, op)
+		}
+	}
+	dist, _, err := RecordDistribution(bare)
+	if err != nil {
+		return nil, err
+	}
+	sup := make([]uint64, 0, len(dist))
+	for rec, p := range dist {
+		if p > probEps {
+			sup = append(sup, rec)
+		}
+	}
+	sort.Slice(sup, func(i, j int) bool { return sup[i] < sup[j] })
+	return sup, nil
+}
+
+// chiSquareZ is the normal quantile used for the chi-square acceptance
+// threshold (Wilson-Hilferty). z=6 puts the per-test false-positive rate
+// near 1e-9, so the suite stays quiet across thousands of CI runs while
+// real distribution bugs — which shift probabilities by O(1) — exceed the
+// threshold by orders of magnitude.
+const chiSquareZ = 6.0
+
+// chiSquareCritical approximates the (1-alpha) chi-square quantile for
+// df degrees of freedom via the Wilson-Hilferty cube transform.
+func chiSquareCritical(df int) float64 {
+	d := float64(df)
+	t := 1 - 2/(9*d) + chiSquareZ*math.Sqrt(2/(9*d))
+	return d * t * t * t
+}
+
+// ChiSquareResult reports one goodness-of-fit comparison.
+type ChiSquareResult struct {
+	Stat     float64
+	Critical float64
+	DF       int
+	// Impossible holds a record observed with oracle probability zero —
+	// an unconditional failure, stronger than any statistic.
+	Impossible []uint64
+}
+
+// OK reports whether the observed counts are consistent with the oracle.
+func (r ChiSquareResult) OK() bool {
+	return len(r.Impossible) == 0 && (r.DF == 0 || r.Stat <= r.Critical)
+}
+
+// String renders the verdict.
+func (r ChiSquareResult) String() string {
+	if len(r.Impossible) > 0 {
+		return fmt.Sprintf("impossible records observed: %v", r.Impossible)
+	}
+	return fmt.Sprintf("chi2=%.2f critical=%.2f df=%d", r.Stat, r.Critical, r.DF)
+}
+
+// ChiSquare compares observed record counts against the oracle
+// distribution. Records whose expected count is below 5 are pooled into
+// one category (the standard validity rule for the chi-square
+// approximation); records with probability zero must not appear at all.
+func ChiSquare(dist map[uint64]float64, counts map[uint64]int, shots int) ChiSquareResult {
+	var res ChiSquareResult
+	for rec, n := range counts {
+		if n > 0 && dist[rec] < probEps {
+			res.Impossible = append(res.Impossible, rec)
+		}
+	}
+	if len(res.Impossible) > 0 {
+		sort.Slice(res.Impossible, func(i, j int) bool { return res.Impossible[i] < res.Impossible[j] })
+		return res
+	}
+	var stat, poolExp float64
+	poolObs := 0
+	cats := 0
+	for rec, p := range dist {
+		if p < probEps {
+			continue
+		}
+		exp := p * float64(shots)
+		obs := float64(counts[rec])
+		if exp < 5 {
+			poolExp += exp
+			poolObs += counts[rec]
+			continue
+		}
+		d := obs - exp
+		stat += d * d / exp
+		cats++
+	}
+	if poolExp >= 5 {
+		d := float64(poolObs) - poolExp
+		stat += d * d / poolExp
+		cats++
+	}
+	if cats < 2 {
+		// Degenerate: a single (possibly pooled) category carries no
+		// statistical information beyond the impossible-record check.
+		return res
+	}
+	res.Stat = stat
+	res.DF = cats - 1
+	res.Critical = chiSquareCritical(res.DF)
+	return res
+}
+
+// recordKey packs a measurement record into the oracle's uint64 keying.
+func recordKey(rec []bool) uint64 {
+	var k uint64
+	for i, b := range rec {
+		if b {
+			k |= 1 << uint(i)
+		}
+	}
+	return k
+}

@@ -1,0 +1,240 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"reflect"
+
+	"xqsim/internal/isa"
+	"xqsim/internal/pauli"
+	"xqsim/internal/statevec"
+	"xqsim/internal/xrand"
+)
+
+// RandomProduct draws a uniform Pauli product on n qubits with a random
+// global phase.
+func RandomProduct(rng *rand.Rand, n int) pauli.Product {
+	pr := pauli.NewProduct(n)
+	for q := range pr.Ops {
+		pr.Ops[q] = pauli.Pauli(rng.Intn(4))
+	}
+	pr.Phase = uint8(rng.Intn(4))
+	return pr
+}
+
+// randomState prepares a generic (non-stabilizer) n-qubit state by a
+// random H/S/T/CX sequence. Generic amplitudes make sign and phase
+// errors visible: on special states like |0...0> many wrong operators
+// act identically.
+func randomState(rng *rand.Rand, n int) *statevec.State {
+	sv := statevec.New(n, 0)
+	for i := 0; i < 4*n+4; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			sv.H(rng.Intn(n))
+		case 1:
+			sv.S(rng.Intn(n))
+		case 2:
+			sv.T(rng.Intn(n))
+		case 3:
+			if n >= 2 {
+				a := rng.Intn(n)
+				b := rng.Intn(n - 1)
+				if b >= a {
+					b++
+				}
+				sv.CX(a, b)
+			} else {
+				sv.H(0)
+			}
+		}
+	}
+	return sv
+}
+
+// stateDiff returns max_i |a_i - scale*b_i|.
+func stateDiff(a, b *statevec.State, scale complex128) float64 {
+	var d float64
+	for i := 0; i < 1<<uint(a.N()); i++ {
+		if m := cmplx.Abs(a.Amplitude(i) - scale*b.Amplitude(i)); m > d {
+			d = m
+		}
+	}
+	return d
+}
+
+const stateTol = 1e-9
+
+// CheckPauli property-tests the Pauli algebra against state-vector
+// conjugation: associativity of Product.Mul, phase-exact composition
+// (applying A then B equals applying the single product B*A),
+// commutation (AB = ±BA with the sign predicted by Commutes), and frame
+// conjugation by Clifford gates (E then G equals G then GEG†).
+func CheckPauli(seed int64, trials int) *Failure {
+	rng := xrand.New(seed)
+	fail := func(format string, args ...any) *Failure {
+		return &Failure{Check: "pauli", Seed: seed, Detail: fmt.Sprintf(format, args...)}
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 1 + rng.Intn(5)
+		a, b, c := RandomProduct(rng, n), RandomProduct(rng, n), RandomProduct(rng, n)
+
+		// Associativity with phases.
+		if ab_c, a_bc := a.Times(b).Times(c), a.Times(b.Times(c)); !reflect.DeepEqual(ab_c, a_bc) {
+			return fail("trial %d: associativity: (%v*%v)*%v = %v but %v*(%v*%v) = %v", trial, a, b, c, ab_c, a, b, c, a_bc)
+		}
+
+		// Composition: B(A|psi>) must equal (B*A)|psi> exactly, phase
+		// included.
+		psi := randomState(rng, n)
+		seq := psi.Clone()
+		seq.ApplyProduct(a)
+		seq.ApplyProduct(b)
+		prod := psi.Clone()
+		prod.ApplyProduct(b.Times(a))
+		if d := stateDiff(seq, prod, 1); d > stateTol {
+			return fail("trial %d: composition: B(A|psi>) vs (B*A)|psi> differ by %g (A=%v B=%v)", trial, d, a, b)
+		}
+
+		// Commutation: AB|psi> = ±BA|psi>, sign per Commutes.
+		ab := psi.Clone()
+		ab.ApplyProduct(b)
+		ab.ApplyProduct(a)
+		ba := psi.Clone()
+		ba.ApplyProduct(a)
+		ba.ApplyProduct(b)
+		sign := complex128(1)
+		if !a.Commutes(b) {
+			sign = -1
+		}
+		if d := stateDiff(ab, ba, sign); d > stateTol {
+			return fail("trial %d: commutation: Commutes(%v,%v)=%v contradicts statevec (diff %g)", trial, a, b, a.Commutes(b), d)
+		}
+
+		if f := checkFrameConjugation(rng, n); f != "" {
+			return fail("trial %d: %s", trial, f)
+		}
+	}
+	return nil
+}
+
+// checkFrameConjugation validates Frame.ConjugateByGate against the
+// defining identity: applying error E then gate G equals applying G then
+// the conjugated error GEG†. Frames are phase-free, so states are
+// compared by fidelity.
+func checkFrameConjugation(rng *rand.Rand, n int) string {
+	frame := pauli.NewFrame(n)
+	for q := range frame.Ops {
+		frame.Ops[q] = pauli.Pauli(rng.Intn(4))
+	}
+	gate := []string{"H", "S", "CX", "CZ"}[rng.Intn(4)]
+	q, q2 := rng.Intn(n), -1
+	applyGate := func(sv *statevec.State) {
+		switch gate {
+		case "H":
+			sv.H(q)
+		case "S":
+			sv.S(q)
+		case "CX":
+			sv.CX(q, q2)
+		case "CZ":
+			sv.CZ(q, q2)
+		}
+	}
+	if gate == "CX" || gate == "CZ" {
+		if n < 2 {
+			return ""
+		}
+		q2 = rng.Intn(n - 1)
+		if q2 >= q {
+			q2++
+		}
+	}
+	frameProduct := func(f pauli.Frame) pauli.Product {
+		pr := pauli.NewProduct(n)
+		copy(pr.Ops, f.Ops)
+		return pr
+	}
+	psi := randomState(rng, n)
+	// E then G.
+	lhs := psi.Clone()
+	lhs.ApplyProduct(frameProduct(frame))
+	applyGate(lhs)
+	// G then GEG†.
+	conj := pauli.Frame{Ops: append([]pauli.Pauli(nil), frame.Ops...)}
+	conj.ConjugateByGate(gate, q, q2)
+	rhs := psi.Clone()
+	applyGate(rhs)
+	rhs.ApplyProduct(frameProduct(conj))
+	if f := lhs.FidelityWith(rhs); math.Abs(f-1) > 1e-9 {
+		return fmt.Sprintf("frame conjugation by %s(q=%d,q2=%d) of %v: fidelity %g", gate, q, q2, pauli.Product{Ops: frame.Ops}, f)
+	}
+	return ""
+}
+
+// RandomProgram draws a random ISA program: uniform opcodes with uniform
+// field contents, the adversarial input class for assembler round-trips.
+func RandomProgram(rng *rand.Rand, maxLen int) isa.Program {
+	p := make(isa.Program, 1+rng.Intn(maxLen))
+	for i := range p {
+		p[i] = isa.Instr{
+			Op:      isa.Opcode(rng.Intn(10)),
+			Flags:   isa.MeasFlag(rng.Intn(64)),
+			MregDst: uint16(rng.Intn(1 << 13)),
+			Offset:  uint16(rng.Intn(1 << 9)),
+			Target:  rng.Uint32(),
+		}
+	}
+	return p
+}
+
+// CheckISA round-trips random programs through every assembler surface:
+// binary encode/decode must be the identity, assemble(disassemble(p))
+// must reproduce p instruction-for-instruction, and disassembly must be
+// a textual fixed point of the assemble/disassemble pair.
+func CheckISA(seed int64, trials int) *Failure {
+	rng := xrand.New(seed)
+	fail := func(format string, args ...any) *Failure {
+		return &Failure{Check: "isa", Seed: seed, Detail: fmt.Sprintf(format, args...)}
+	}
+	for trial := 0; trial < trials; trial++ {
+		p := RandomProgram(rng, 12)
+
+		bin := p.EncodeBinary()
+		back, err := isa.DecodeBinary(bin)
+		if err != nil {
+			return fail("trial %d: DecodeBinary(EncodeBinary(p)) errored: %v", trial, err)
+		}
+		if !reflect.DeepEqual(p, back) {
+			return fail("trial %d: binary round trip diverged:\n%v\nvs\n%v", trial, p, back)
+		}
+
+		text := isa.Disassemble(p)
+		reasm, err := isa.Assemble(text)
+		if err != nil {
+			return fail("trial %d: Assemble(Disassemble(p)) errored: %v\n%s", trial, err, text)
+		}
+		if !reflect.DeepEqual(p, reasm) {
+			return fail("trial %d: assembly round trip diverged:\n%s\n%v\nvs\n%v", trial, text, p, reasm)
+		}
+		if text2 := isa.Disassemble(reasm); text2 != text {
+			return fail("trial %d: disassembly is not a fixed point:\n%q\nvs\n%q", trial, text, text2)
+		}
+
+		// Per-instruction field expansions must agree with each other.
+		for i, in := range p {
+			if in.Op.TargetKindOf() != isa.TargetPauli {
+				continue
+			}
+			pr := in.PauliProduct(isa.MaxLogicalQubits)
+			for k := 0; k < isa.QubitsPerInstr; k++ {
+				if pr.Ops[in.BaseLQ()+k] != in.PauliAt(k) {
+					return fail("trial %d instr %d: PauliProduct[%d] = %v but PauliAt(%d) = %v", trial, i, in.BaseLQ()+k, pr.Ops[in.BaseLQ()+k], k, in.PauliAt(k))
+				}
+			}
+		}
+	}
+	return nil
+}
