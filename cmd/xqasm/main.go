@@ -39,7 +39,7 @@ func main() {
 	flag.Parse()
 
 	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "xqasm:", err)
+		_, _ = fmt.Fprintln(os.Stderr, "xqasm:", err)
 		os.Exit(1)
 	}
 
@@ -64,7 +64,7 @@ func main() {
 			fail(err)
 		}
 		prog = res.Program
-		fmt.Fprintf(os.Stderr, "compiled %s: %d instructions (%d bits), %d rotations\n",
+		_, _ = fmt.Fprintf(os.Stderr, "compiled %s: %d instructions (%d bits), %d rotations\n",
 			circ.Name, len(prog), prog.Bits(), res.Rotations)
 	case *dis:
 		if *in == "" {
@@ -105,7 +105,7 @@ func main() {
 		if err := os.WriteFile(*out, prog.EncodeBinary(), 0o644); err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d instructions to %s\n", len(prog), *out)
+		_, _ = fmt.Fprintf(os.Stderr, "wrote %d instructions to %s\n", len(prog), *out)
 		return
 	}
 	fmt.Print(xqsim.Disassemble(prog))

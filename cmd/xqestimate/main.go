@@ -55,7 +55,7 @@ func main() {
 	case "ersfq":
 		kind = xqsim.ERSFQ
 	default:
-		fmt.Fprintf(os.Stderr, "xqestimate: unknown technology %q\n", *techName)
+		_, _ = fmt.Fprintf(os.Stderr, "xqestimate: unknown technology %q\n", *techName)
 		os.Exit(1)
 	}
 

@@ -1,0 +1,98 @@
+// Command xqlint runs the repo's custom static-analysis suite
+// (internal/analysis) over the module: determinism, exhaustive, nopanic,
+// floateq, and errignore. It prints findings as "file:line: analyzer:
+// message" and exits 1 when there are any, 2 on load or type errors, so
+// CI can gate on it:
+//
+//	go run ./cmd/xqlint ./...
+//
+// Packages are named by Go-style patterns: directories ("./internal/stab"),
+// import paths ("xqsim/internal/stab"), or trees ("./...").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xqsim/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		_, _ = fmt.Fprintf(flag.CommandLine.Output(), "usage: xqlint [packages]\n\n")
+		_, _ = fmt.Fprintf(flag.CommandLine.Output(), "Runs the xqsim analyzer suite; defaults to ./...\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		_, _ = fmt.Fprintln(os.Stderr, "xqlint:", err)
+		os.Exit(2)
+	}
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		_, _ = fmt.Fprintln(os.Stderr, "xqlint:", err)
+		os.Exit(2)
+	}
+	if len(paths) == 0 {
+		_, _ = fmt.Fprintln(os.Stderr, "xqlint: no packages matched")
+		os.Exit(2)
+	}
+
+	var pkgs []*analysis.LoadedPackage
+	broken := false
+	for _, path := range paths {
+		lp, err := loader.Load(path)
+		if err != nil {
+			_, _ = fmt.Fprintf(os.Stderr, "xqlint: %s: %v\n", path, err)
+			broken = true
+			continue
+		}
+		if len(lp.TypeErrors) > 0 {
+			for _, te := range lp.TypeErrors {
+				_, _ = fmt.Fprintf(os.Stderr, "xqlint: %v\n", te)
+			}
+			broken = true
+			continue
+		}
+		pkgs = append(pkgs, lp)
+	}
+	if broken {
+		os.Exit(2)
+	}
+
+	cfg := analysis.DefaultConfig(loader.ModulePath)
+	findings := analysis.Run(pkgs, cfg, analysis.All())
+
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d: %s: %s\n", name, f.Pos.Line, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		_, _ = fmt.Fprintf(os.Stderr, "xqlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -39,28 +39,28 @@ func main() {
 
 	circ, err := buildWorkload(*workload, *lq, *pprs, *product, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "xqsim:", err)
+		_, _ = fmt.Fprintln(os.Stderr, "xqsim:", err)
 		os.Exit(1)
 	}
 
 	sys, scheme, err := buildSystem(*system, *d)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "xqsim:", err)
+		_, _ = fmt.Fprintln(os.Stderr, "xqsim:", err)
 		os.Exit(1)
 	}
 
 	if *trace != "" {
 		if err := writeTrace(circ, *d, *p, *seed, *trace); err != nil {
-			fmt.Fprintln(os.Stderr, "xqsim:", err)
+			_, _ = fmt.Fprintln(os.Stderr, "xqsim:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "wrote trace to %s\n", *trace)
+		_, _ = fmt.Fprintf(os.Stderr, "wrote trace to %s\n", *trace)
 	}
 
 	if *functional {
 		dist, metrics, err := xqsim.RunShots(circ.SubstituteStabilizer(), *d, *p, *shots, *seed)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "xqsim:", err)
+			_, _ = fmt.Fprintln(os.Stderr, "xqsim:", err)
 			os.Exit(1)
 		}
 		ref := xqsim.ReferenceDistribution(circ.SubstituteStabilizer())
@@ -109,8 +109,11 @@ func writeTrace(circ xqsim.Circuit, d int, p float64, seed int64, path string) e
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return pl.WriteTrace(f)
+	if err := pl.WriteTrace(f); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	return f.Close()
 }
 
 func buildWorkload(kind string, lq, pprs int, product string, seed int64) (xqsim.Circuit, error) {

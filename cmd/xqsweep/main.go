@@ -58,7 +58,7 @@ func main() {
 		case "t3":
 			r, err := xqsim.Table3Result(*shots, *seed)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "xqsweep:", err)
+				_, _ = fmt.Fprintln(os.Stderr, "xqsweep:", err)
 				os.Exit(1)
 			}
 			results = append(results, r)
@@ -69,7 +69,7 @@ func main() {
 		case "threshold":
 			results = append(results, xqsim.ThresholdStudy(400, *seed))
 		default:
-			fmt.Fprintf(os.Stderr, "xqsweep: unknown experiment %q\n", id)
+			_, _ = fmt.Fprintf(os.Stderr, "xqsweep: unknown experiment %q\n", id)
 			os.Exit(1)
 		}
 	}
@@ -98,19 +98,19 @@ func main() {
 
 	if *md != "" && len(results) > 0 {
 		if err := os.WriteFile(*md, []byte(xqsim.MarkdownReport(results)), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "xqsweep:", err)
+			_, _ = fmt.Fprintln(os.Stderr, "xqsweep:", err)
 			os.Exit(1)
 		}
 		worst, where := xqsim.WorstDeviationPct(results)
-		fmt.Fprintf(os.Stderr, "wrote report to %s (worst deviation %.1f%% at %s)\n", *md, worst, where)
+		_, _ = fmt.Fprintf(os.Stderr, "wrote report to %s (worst deviation %.1f%% at %s)\n", *md, worst, where)
 	}
 
 	if *csv != "" && len(results) > 0 {
 		if err := writeCSV(*csv, results); err != nil {
-			fmt.Fprintln(os.Stderr, "xqsweep:", err)
+			_, _ = fmt.Fprintln(os.Stderr, "xqsweep:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "wrote series to %s\n", *csv)
+		_, _ = fmt.Fprintf(os.Stderr, "wrote series to %s\n", *csv)
 	}
 }
 

@@ -88,7 +88,7 @@ func main() {
 	fmt.Printf("xqverify depth=%s seed=%d (%.2fs)\n%s", depth.Name, *seed, time.Since(start).Seconds(), rep.Summary())
 	if !rep.OK() {
 		for _, f := range rep.Failures {
-			fmt.Fprintf(os.Stderr, "\n%v\n", f)
+			_, _ = fmt.Fprintf(os.Stderr, "\n%v\n", f)
 		}
 		os.Exit(1)
 	}
@@ -111,11 +111,11 @@ func runReplay(spec string, depth verify.Depth) {
 		fmt.Printf("replay %s: PASS (the failure no longer reproduces)\n", spec)
 		return
 	}
-	fmt.Fprintf(os.Stderr, "%v\n", f)
+	_, _ = fmt.Fprintf(os.Stderr, "%v\n", f)
 	os.Exit(1)
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	_, _ = fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(1)
 }

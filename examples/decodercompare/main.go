@@ -9,17 +9,17 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 
 	"xqsim/internal/decoder"
 	"xqsim/internal/pauli"
 	"xqsim/internal/surface"
+	"xqsim/internal/xrand"
 )
 
 func main() {
 	d := 15
 	code := surface.NewCode(d)
-	rng := rand.New(rand.NewSource(7))
+	rng := xrand.New(7)
 
 	fmt.Printf("distance-%d patch: %d data qubits, %d stabilizers\n\n",
 		d, code.DataQubits(), len(code.Stabilizers()))

@@ -64,6 +64,8 @@ func main() {
 			checkpoints[i] = "after SPLIT_INFO (lattice restored)"
 		case isa.LQMFM:
 			checkpoints[i] = "after the feedback measurement (byproduct check)"
+		default:
+			// Other opcodes run without a lattice dump.
 		}
 	}
 

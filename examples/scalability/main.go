@@ -8,13 +8,13 @@ package main
 
 import (
 	"fmt"
-	"io"
 	"os"
+	"strings"
 
 	"xqsim"
 )
 
-func show(w io.Writer, name string, sys *xqsim.System, r xqsim.Rates, paper int) {
+func show(w *strings.Builder, name string, sys *xqsim.System, r xqsim.Rates, paper int) {
 	n := sys.MaxQubits(r)
 	rep := sys.Evaluate(n+1, r)
 	bottleneck := "none"
@@ -25,7 +25,7 @@ func show(w io.Writer, name string, sys *xqsim.System, r xqsim.Rates, paper int)
 		name, n, paper, bottleneck)
 }
 
-func run(w io.Writer) {
+func run(w *strings.Builder) {
 	d := 15
 	fmt.Fprintln(w, "measuring microscopic rates from the cycle-accurate pipeline...")
 	rRR := xqsim.MeasureRates(d, 0.001, xqsim.SchemeRoundRobin, 1)
@@ -59,5 +59,9 @@ func run(w io.Writer) {
 }
 
 func main() {
-	run(os.Stdout)
+	var sb strings.Builder
+	run(&sb)
+	if _, err := os.Stdout.WriteString(sb.String()); err != nil {
+		os.Exit(1)
+	}
 }

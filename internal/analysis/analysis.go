@@ -1,0 +1,210 @@
+// Package analysis implements xqlint, the repo's custom static-analysis
+// suite. It is built purely on the standard library's go/parser, go/ast,
+// and go/types (no golang.org/x/tools dependency, per the repo's
+// stdlib-only rule) and enforces the invariants the simulator's results
+// depend on but the compiler cannot check:
+//
+//   - determinism: simulation packages draw randomness only through
+//     internal/xrand and never read the wall clock, so a seed fully
+//     determines a run.
+//   - exhaustive: every switch over an enum-like type (ISA opcodes,
+//     Pauli operators, device kinds, ...) covers all declared constants
+//     or carries an explicit default, so adding an instruction cannot
+//     silently fall through.
+//   - nopanic: library packages under internal/ return errors instead of
+//     calling panic, log.Fatal, or os.Exit on reachable paths.
+//   - floateq: no == or != on floating-point operands.
+//   - errignore: no silently discarded error returns.
+//
+// A finding can be suppressed with an annotation on the offending line
+// (or the line directly above):
+//
+//	//xqlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The reason is mandatory; an annotation without one is itself a finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the canonical "file:line: analyzer:
+// message" form consumed by CI and editors.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one loaded package through the analyzers.
+type Pass struct {
+	Fset *token.FileSet
+	// Path is the full import path; RelPath is the module-relative form
+	// ("internal/stab"; "" for the module root package) that the Config
+	// prefix lists match against.
+	Path    string
+	RelPath string
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+	Cfg     *Config
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos for the named analyzer.
+func (p *Pass) Reportf(pos token.Pos, analyzer, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		determinismAnalyzer,
+		exhaustiveAnalyzer,
+		nopanicAnalyzer,
+		floateqAnalyzer,
+		errignoreAnalyzer,
+	}
+}
+
+// Run applies the analyzers to every package and returns the surviving
+// findings sorted by position. Findings on lines covered by a valid
+// //xqlint:ignore annotation for the matching analyzer are dropped;
+// malformed annotations (no reason) are reported under the pseudo-analyzer
+// name "xqlint".
+func Run(pkgs []*LoadedPackage, cfg *Config, analyzers []*Analyzer) []Finding {
+	var all []Finding
+	for _, lp := range pkgs {
+		var raw []Finding
+		pass := &Pass{
+			Fset:     lp.Fset,
+			Path:     lp.Path,
+			RelPath:  cfg.relPath(lp.Path),
+			Files:    lp.Files,
+			Pkg:      lp.Pkg,
+			Info:     lp.Info,
+			Cfg:      cfg,
+			findings: &raw,
+		}
+		for _, a := range analyzers {
+			a.Run(pass)
+		}
+		ign, bad := collectIgnores(lp.Fset, lp.Files)
+		for _, f := range raw {
+			if !ign.covers(f) {
+				all = append(all, f)
+			}
+		}
+		all = append(all, bad...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return all
+}
+
+// ignoreSet maps (file, line, analyzer) triples suppressed by annotations.
+type ignoreSet map[string]map[int]map[string]bool
+
+func (s ignoreSet) add(file string, line int, analyzer string) {
+	byLine, ok := s[file]
+	if !ok {
+		byLine = map[int]map[string]bool{}
+		s[file] = byLine
+	}
+	byAn, ok := byLine[line]
+	if !ok {
+		byAn = map[string]bool{}
+		byLine[line] = byAn
+	}
+	byAn[analyzer] = true
+}
+
+func (s ignoreSet) covers(f Finding) bool {
+	return s[f.Pos.Filename][f.Pos.Line][f.Analyzer]
+}
+
+// collectIgnores scans every comment for //xqlint:ignore annotations. An
+// annotation suppresses matching findings on its own line (trailing
+// comment) and on the next line (comment above the statement). It returns
+// the suppression set plus findings for malformed annotations.
+func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Finding) {
+	ign := ignoreSet{}
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "xqlint:ignore") {
+					continue
+				}
+				rest := strings.TrimPrefix(text, "xqlint:ignore")
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Pos:      pos,
+						Analyzer: "xqlint",
+						Message:  "malformed ignore annotation: want //xqlint:ignore <analyzer>[,<analyzer>] <reason>",
+					})
+					continue
+				}
+				for _, an := range strings.Split(fields[0], ",") {
+					ign.add(pos.Filename, pos.Line, an)
+					ign.add(pos.Filename, pos.Line+1, an)
+				}
+			}
+		}
+	}
+	return ign, bad
+}
+
+// funcFullName resolves the called function of a call expression to its
+// types.Func.FullName form ("fmt.Println", "(*bytes.Buffer).WriteString"),
+// or "" when the callee is not a named function (builtin, func value,
+// conversion).
+func funcFullName(info *types.Info, call *ast.CallExpr) string {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// loadFixture type-checks the pseudo-module under testdata/src/fixturemod
+// and returns its packages plus the module root directory.
+func loadFixture(t *testing.T) ([]*LoadedPackage, string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "fixturemod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loader.ModulePath != "fixturemod" {
+		t.Fatalf("module path = %q, want fixturemod", loader.ModulePath)
+	}
+	paths, err := loader.Expand([]string{dir + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no fixture packages found")
+	}
+	var pkgs []*LoadedPackage
+	for _, path := range paths {
+		lp, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		for _, te := range lp.TypeErrors {
+			t.Errorf("fixture type error in %s: %v", path, te)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, dir
+}
+
+// TestFixtureGolden runs the full suite over the fixture module and
+// compares the findings against testdata/fixturemod.golden. Regenerate
+// with: go test ./internal/analysis -run Golden -update
+func TestFixtureGolden(t *testing.T) {
+	pkgs, root := loadFixture(t)
+	findings := Run(pkgs, DefaultConfig("fixturemod"), All())
+	if len(findings) == 0 {
+		t.Fatal("fixture module produced no findings")
+	}
+
+	var sb strings.Builder
+	for _, f := range findings {
+		rel, err := filepath.Rel(root, f.Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Pos.Filename = filepath.ToSlash(rel)
+		sb.WriteString(f.String())
+		sb.WriteString("\n")
+	}
+	got := sb.String()
+
+	goldenPath := filepath.Join("testdata", "fixturemod.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("findings mismatch (-want +got):\n--- want\n%s--- got\n%s", want, got)
+	}
+}
+
+// TestFixtureNegatives spot-checks that the escape hatches suppress:
+// no finding may land on a line annotated with a valid ignore, on the
+// xrand wrapper's banned import, or on the cmd package's panic.
+func TestFixtureNegatives(t *testing.T) {
+	pkgs, _ := loadFixture(t)
+	findings := Run(pkgs, DefaultConfig("fixturemod"), All())
+	for _, f := range findings {
+		base := filepath.Base(f.Pos.Filename)
+		if base == "xrand.go" {
+			t.Errorf("finding in exempt package: %v", f)
+		}
+		if base == "main.go" && f.Analyzer == "nopanic" {
+			t.Errorf("nopanic finding in cmd package: %v", f)
+		}
+	}
+	// The annotated sites in sim.go and lib.go must not be reported:
+	// their findings would carry these analyzers at these files.
+	suppressed := map[string]int{"sim.go": 0, "lib.go": 0}
+	for _, f := range findings {
+		suppressed[filepath.Base(f.Pos.Filename)]++
+	}
+	// sim.go: exactly the banned import and the one unannotated time.Now.
+	if n := suppressed["sim.go"]; n != 2 {
+		t.Errorf("sim.go findings = %d, want 2 (annotated call must be suppressed)", n)
+	}
+	// lib.go: panic, os.Exit, dropped Close, float ==; the annotated
+	// panic and sentinel check plus the Builder write stay silent.
+	if n := suppressed["lib.go"]; n != 4 {
+		t.Errorf("lib.go findings = %d, want 4 (escape hatches must suppress)", n)
+	}
+}
+
+// TestAnalyzerListStable pins the suite's composition: CI wiring and the
+// docs name these five analyzers.
+func TestAnalyzerListStable(t *testing.T) {
+	want := []string{"determinism", "exhaustive", "nopanic", "floateq", "errignore"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("analyzer[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s missing doc or run function", a.Name)
+		}
+	}
+}

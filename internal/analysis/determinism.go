@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// determinismAnalyzer enforces the seed-determinism invariant: simulation
+// packages (internal/*) may not import math/rand or crypto/rand directly
+// — internal/xrand is the only sanctioned randomness wrapper — and may
+// not read the wall clock. PR 1 made every hot-path generator a seeded
+// xrand stream precisely so a (seed, config) pair reproduces a run
+// bit-for-bit; one stray rand.Intn or time.Now breaks replay of failing
+// verify-suite shots.
+var determinismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "simulation packages must draw randomness via internal/xrand and never read the wall clock",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(p *Pass) {
+	if !p.Cfg.isSimPackage(p.RelPath) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, banned := range p.Cfg.DeterminismBannedImports {
+				if path == banned {
+					p.Reportf(imp.Pos(), "determinism",
+						"simulation package imports %q directly; use internal/xrand (the only sanctioned RNG wrapper)", path)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := funcFullName(p.Info, call)
+			if name == "" {
+				return true
+			}
+			for _, banned := range p.Cfg.DeterminismBannedCalls {
+				if name == banned {
+					p.Reportf(call.Pos(), "determinism",
+						"simulation package calls %s; wall-clock reads make runs irreproducible (move timing to the caller or internal/prof)", name)
+				}
+			}
+			return true
+		})
+	}
+}

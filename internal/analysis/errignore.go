@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errignoreAnalyzer flags calls whose error result is silently dropped:
+// a call with an error among its results used as a bare statement, or
+// behind defer/go. A swallowed Fprintf error turns a truncated sweep
+// report into a silently wrong one. An explicit blank assignment
+// (`_ = f()`) is the sanctioned way to drop an error on purpose — it is
+// visible in review — and the config allowlists writers that are
+// documented to never fail.
+var errignoreAnalyzer = &Analyzer{
+	Name: "errignore",
+	Doc:  "no silently discarded error returns; assign to _ explicitly or handle",
+	Run:  runErrignore,
+}
+
+func runErrignore(p *Pass) {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	returnsError := func(call *ast.CallExpr) bool {
+		t := p.Info.TypeOf(call)
+		if t == nil {
+			return false
+		}
+		switch t := t.(type) {
+		case *types.Tuple:
+			for i := 0; i < t.Len(); i++ {
+				if types.Implements(t.At(i).Type(), errIface) {
+					return true
+				}
+			}
+			return false
+		default:
+			return types.Implements(t, errIface)
+		}
+	}
+	// fmt.Fprint* into an in-memory buffer cannot fail: strings.Builder
+	// and bytes.Buffer document that their Write methods always return a
+	// nil error, so the fmt wrapper's error is structurally dead there.
+	infallibleWriter := func(call *ast.CallExpr) bool {
+		if len(call.Args) == 0 {
+			return false
+		}
+		t := p.Info.TypeOf(call.Args[0])
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			return false
+		}
+		named, ok := types.Unalias(ptr.Elem()).(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil {
+			return false
+		}
+		full := obj.Pkg().Path() + "." + obj.Name()
+		return full == "strings.Builder" || full == "bytes.Buffer"
+	}
+	check := func(call *ast.CallExpr, how string) {
+		if !returnsError(call) {
+			return
+		}
+		name := funcFullName(p.Info, call)
+		if name != "" && p.Cfg.errignoreAllowed(name) {
+			return
+		}
+		if (name == "fmt.Fprint" || name == "fmt.Fprintf" || name == "fmt.Fprintln") &&
+			infallibleWriter(call) {
+			return
+		}
+		if name == "" {
+			name = "call"
+		}
+		p.Reportf(call.Pos(), "errignore",
+			"%s result of %s is discarded%s; handle it or assign to _ explicitly", "error", name, how)
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					check(call, "")
+				}
+			case *ast.DeferStmt:
+				check(n.Call, " (deferred)")
+			case *ast.GoStmt:
+				check(n.Call, " (goroutine)")
+			}
+			return true
+		})
+	}
+}

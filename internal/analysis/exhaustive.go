@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// exhaustiveAnalyzer enforces ISA/enum lockstep: a switch over an
+// enum-like named type (integer or string underlying, with at least two
+// declared constants) must either list every declared constant or carry
+// an explicit default clause. The QISA grows instructions over time (cf.
+// eQASM); without this check, adding an opcode compiles cleanly while
+// every opcode switch in internal/microarch silently falls through.
+// Counting sentinels such as numOpcodes are excluded, as are constants
+// that are unexported from the switch's vantage point.
+var exhaustiveAnalyzer = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over enum-like types cover every declared constant or carry an explicit default",
+	Run:  runExhaustive,
+}
+
+func runExhaustive(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagType := p.Info.TypeOf(sw.Tag)
+			if tagType == nil {
+				return true
+			}
+			named, ok := types.Unalias(tagType).(*types.Named)
+			if !ok {
+				return true
+			}
+			basic, ok := named.Underlying().(*types.Basic)
+			if !ok {
+				return true
+			}
+			info := basic.Info()
+			if info&(types.IsInteger|types.IsString) == 0 || info&types.IsBoolean != 0 {
+				return true
+			}
+			members := enumMembers(p, named)
+			if len(members) < p.Cfg.ExhaustiveMinMembers {
+				return true
+			}
+
+			covered := map[string]bool{}
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					return true // explicit default: exhaustiveness satisfied
+				}
+				for _, e := range cc.List {
+					if tv, ok := p.Info.Types[e]; ok && tv.Value != nil {
+						covered[tv.Value.ExactString()] = true
+					}
+				}
+			}
+
+			var missing []string
+			for _, m := range members {
+				if !covered[m.val] {
+					missing = append(missing, m.name)
+				}
+			}
+			if len(missing) > 0 {
+				typeName := types.TypeString(named, types.RelativeTo(p.Pkg))
+				p.Reportf(sw.Pos(), "exhaustive",
+					"switch over %s misses %s; add the cases or a default that rejects the value",
+					typeName, strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+type enumMember struct {
+	name string
+	val  string // constant.Value.ExactString
+}
+
+// enumMembers lists the declared constants of the named type, from the
+// type's defining package. Constants invisible from the switch's package
+// and counting sentinels are excluded; members sharing a value are
+// collapsed onto the first declared name.
+func enumMembers(p *Pass, named *types.Named) []enumMember {
+	defPkg := named.Obj().Pkg()
+	if defPkg == nil {
+		return nil // universe type (error, ...)
+	}
+	sameP := defPkg == p.Pkg
+	scope := defPkg.Scope()
+	byVal := map[string]bool{}
+	var out []enumMember
+	names := scope.Names() // sorted
+	for _, name := range names {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(types.Unalias(c.Type()), named) {
+			continue
+		}
+		if !sameP && !c.Exported() {
+			continue
+		}
+		if p.Cfg.isSentinelConst(name) {
+			continue
+		}
+		v := c.Val().ExactString()
+		if byVal[v] {
+			continue
+		}
+		byVal[v] = true
+		out = append(out, enumMember{name: name, val: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi, vj := constantOrder(out[i].val), constantOrder(out[j].val)
+		if vi != vj {
+			return vi < vj
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// constantOrder gives non-negative integer constants a zero-padded sort
+// key so missing-case lists read in value order; other values sort
+// textually.
+func constantOrder(exact string) string {
+	for _, r := range exact {
+		if r < '0' || r > '9' {
+			return exact
+		}
+	}
+	return strings.Repeat("0", max(0, 20-len(exact))) + exact
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floateqAnalyzer flags == and != between floating-point (or complex)
+// operands. Logical error rates and thresholds are accumulated floats;
+// exact comparison silently turns into "always unequal" after any
+// reordering of the accumulation, which is precisely the class of bug a
+// parallel sweep introduces. Compare against a tolerance (see
+// internal/verify's approxEqual helpers) or annotate the rare exact
+// sentinel check (p == 0 guards) with //xqlint:ignore floateq <reason>.
+var floateqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc:  "no == or != on floating-point operands; use a tolerance",
+	Run:  runFloateq,
+}
+
+func runFloateq(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := p.Info.Types[be.X], p.Info.Types[be.Y]
+			// Both sides constant: folded at compile time, no runtime
+			// rounding hazard.
+			if tx.Value != nil && ty.Value != nil {
+				return true
+			}
+			if isFloat(tx.Type) || isFloat(ty.Type) {
+				p.Reportf(be.OpPos, "floateq",
+					"%s on floating-point operands; compare with a tolerance or annotate an exact sentinel check", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

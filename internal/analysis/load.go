@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadedPackage is one parsed and type-checked package.
+type LoadedPackage struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// TypeErrors holds the type-checker's complaints; analysis results
+	// on an ill-typed package are unreliable, so callers should surface
+	// these and bail.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of a single module from source,
+// using only the standard library: module-internal imports are resolved
+// recursively by the loader itself, everything else falls back to the
+// stdlib source importer.
+type Loader struct {
+	Fset       *token.FileSet
+	ModulePath string
+	ModuleDir  string
+
+	std     types.Importer
+	pkgs    map[string]*LoadedPackage
+	loading map[string]bool
+}
+
+// NewLoader locates the module containing dir (by walking up to go.mod)
+// and returns a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := moduleName(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModulePath: modPath,
+		ModuleDir:  root,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*LoadedPackage{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// moduleName extracts the module path from a go.mod file.
+func moduleName(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			name := strings.TrimSpace(rest)
+			if name != "" {
+				return strings.Trim(name, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", path)
+}
+
+// Import implements types.Importer: module-internal paths load from
+// source through the loader, the rest through the stdlib importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		lp, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirFor maps a module-internal import path to its directory.
+func (l *Loader) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+	return filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+}
+
+// sourceFiles lists the package's non-test Go files in stable order.
+func sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		out = append(out, filepath.Join(dir, name))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Load parses and type-checks the module-internal package at the given
+// import path (memoized).
+func (l *Loader) Load(path string) (*LoadedPackage, error) {
+	if lp, ok := l.pkgs[path]; ok {
+		return lp, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	names, err := sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	lp := &LoadedPackage{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { lp.TypeErrors = append(lp.TypeErrors, err) },
+	}
+	pkg, err := conf.Check(path, l.Fset, files, lp.Info)
+	if err != nil && len(lp.TypeErrors) == 0 {
+		return nil, err
+	}
+	lp.Pkg = pkg
+	l.pkgs[path] = lp
+	return lp, nil
+}
+
+// Expand resolves package patterns to module-internal import paths. A
+// pattern is either a directory (absolute, or relative to the module
+// root: ".", "./internal/stab"), an import path, or either of those with
+// a trailing "/..." wildcard that walks the tree for Go packages
+// (skipping testdata, vendor, hidden, and underscore directories).
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." {
+			pat, recursive = ".", true
+		} else if strings.HasSuffix(pat, "/...") {
+			pat, recursive = strings.TrimSuffix(pat, "/..."), true
+		}
+		dir, err := l.patternDir(pat)
+		if err != nil {
+			return nil, err
+		}
+		if !recursive {
+			path, ok, err := l.importPathOf(dir)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+			}
+			add(path)
+			continue
+		}
+		err = filepath.WalkDir(dir, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != dir && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			path, ok, err := l.importPathOf(p)
+			if err != nil {
+				return err
+			}
+			if ok {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// patternDir maps a non-wildcard pattern to a directory.
+func (l *Loader) patternDir(pat string) (string, error) {
+	if filepath.IsAbs(pat) {
+		return pat, nil
+	}
+	if pat == "." || strings.HasPrefix(pat, "./") || strings.HasPrefix(pat, "../") {
+		return filepath.Abs(pat)
+	}
+	if pat == l.ModulePath || strings.HasPrefix(pat, l.ModulePath+"/") {
+		return l.dirFor(pat), nil
+	}
+	return filepath.Abs(pat)
+}
+
+// importPathOf maps a directory inside the module to its import path; ok
+// is false when the directory holds no non-test Go files.
+func (l *Loader) importPathOf(dir string) (string, bool, error) {
+	names, err := sourceFiles(dir)
+	if err != nil || len(names) == 0 {
+		return "", false, err
+	}
+	rel, err := filepath.Rel(l.ModuleDir, dir)
+	if err != nil {
+		return "", false, err
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", false, fmt.Errorf("analysis: %s is outside module %s", dir, l.ModuleDir)
+	}
+	if rel == "." {
+		return l.ModulePath, true, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), true, nil
+}

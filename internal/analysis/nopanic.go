@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// nopanicAnalyzer enforces the no-panic invariant: library packages under
+// internal/ surface failures as returned errors, never as panic,
+// log.Fatal, or os.Exit. A panic in the decode or pipeline path kills a
+// whole parallel sweep instead of failing one shot; cmd/* mains and tests
+// are exempt, and genuinely unreachable guards may be annotated with
+// //xqlint:ignore nopanic <why it is unreachable>.
+var nopanicAnalyzer = &Analyzer{
+	Name: "nopanic",
+	Doc:  "library packages return errors instead of calling panic, log.Fatal, or os.Exit",
+	Run:  runNopanic,
+}
+
+// nopanicBanned are the process-terminating calls, by FullName.
+var nopanicBanned = map[string]bool{
+	"os.Exit":        true,
+	"log.Fatal":      true,
+	"log.Fatalf":     true,
+	"log.Fatalln":    true,
+	"log.Panic":      true,
+	"log.Panicf":     true,
+	"log.Panicln":    true,
+	"runtime.Goexit": true,
+}
+
+func runNopanic(p *Pass) {
+	if !p.Cfg.isLibraryPackage(p.RelPath) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if obj, ok := p.Info.Uses[id].(*types.Builtin); ok && obj.Name() == "panic" {
+					p.Reportf(call.Pos(), "nopanic",
+						"panic in library package; return an error (annotate //xqlint:ignore nopanic <reason> only for unreachable guards)")
+					return true
+				}
+			}
+			if name := funcFullName(p.Info, call); nopanicBanned[name] {
+				p.Reportf(call.Pos(), "nopanic",
+					"%s in library package terminates the whole process; return an error instead", name)
+			}
+			return true
+		})
+	}
+}

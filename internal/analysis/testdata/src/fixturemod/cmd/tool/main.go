@@ -1,0 +1,15 @@
+// Command tool exercises the package scoping: cmd binaries may panic
+// (nopanic covers only library packages) but errignore still applies.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) > 2 {
+		panic("tool: too many arguments")
+	}
+	fmt.Fprintln(os.Stderr, "hello")
+}

@@ -1,0 +1,13 @@
+// Package bad exercises the annotation checker: an ignore comment with
+// no reason is itself a finding and suppresses nothing.
+package bad
+
+// Reasonless carries a reasonless annotation, so both the annotation and
+// the panic it fails to cover are reported.
+func Reasonless(n int) int {
+	if n < 0 {
+		//xqlint:ignore nopanic
+		panic("bad: negative")
+	}
+	return n
+}

@@ -1,0 +1,52 @@
+// Package enums exercises the exhaustive analyzer: a fully covered
+// switch, a switch with a missing member, a default-carrying switch, and
+// a counting sentinel that must not be demanded as a case.
+package enums
+
+// Opcode is an enum-like type with a sentinel member.
+type Opcode int
+
+// The opcodes; numOpcodes counts them.
+const (
+	OpAdd Opcode = iota
+	OpSub
+	OpMul
+	numOpcodes
+)
+
+// Count keeps the sentinel referenced.
+func Count() int { return int(numOpcodes) }
+
+// Name covers every opcode: no finding.
+func Name(op Opcode) string {
+	switch op {
+	case OpAdd:
+		return "add"
+	case OpSub:
+		return "sub"
+	case OpMul:
+		return "mul"
+	}
+	return "?"
+}
+
+// Cost misses OpMul: finding.
+func Cost(op Opcode) int {
+	switch op {
+	case OpAdd:
+		return 1
+	case OpSub:
+		return 2
+	}
+	return 0
+}
+
+// Fallback carries an explicit default: no finding.
+func Fallback(op Opcode) int {
+	switch op {
+	case OpAdd:
+		return 1
+	default:
+		return 9
+	}
+}

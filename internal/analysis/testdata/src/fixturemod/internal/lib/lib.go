@@ -1,0 +1,52 @@
+// Package lib exercises nopanic, floateq, and errignore: reachable
+// panics and exits, float equality, discarded errors, and the sanctioned
+// escapes for each.
+package lib
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Explode panics on a reachable path: finding.
+func Explode(n int) int {
+	if n < 0 {
+		panic("lib: negative")
+	}
+	return n
+}
+
+// Guarded documents an unreachable guard: annotated, no finding.
+func Guarded(n int) int {
+	if n < 0 {
+		//xqlint:ignore nopanic fixture: unreachable guard
+		panic("lib: negative")
+	}
+	return n
+}
+
+// Bail exits from library code: finding.
+func Bail() { os.Exit(1) }
+
+// Close drops the Close error: finding.
+func Close(f *os.File) { f.Close() }
+
+// CloseQuiet drops it explicitly: no finding.
+func CloseQuiet(f *os.File) { _ = f.Close() }
+
+// Render writes into a strings.Builder, which never fails: no finding.
+func Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "x")
+	return sb.String()
+}
+
+// SameRate compares floats with ==: finding.
+func SameRate(a, b float64) bool { return a == b }
+
+// Disabled checks an exact sentinel under an annotation: no finding.
+func Disabled(p float64) bool {
+	//xqlint:ignore floateq fixture: exact sentinel
+	return p == 0
+}

@@ -1,0 +1,28 @@
+// Package sim exercises the determinism analyzer: a banned import, a
+// banned wall-clock call, the sanctioned xrand path, and the annotation
+// escape hatch.
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"fixturemod/internal/xrand"
+)
+
+// Draw uses math/rand directly: the import is a finding.
+func Draw() float64 {
+	return rand.New(rand.NewSource(1)).Float64()
+}
+
+// Stamp reads the wall clock: finding.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Seeded draws through the sanctioned wrapper: no finding.
+func Seeded(seed int64) float64 { return xrand.New(seed).Float64() }
+
+// Allowed reads the wall clock under an annotation: no finding.
+func Allowed() int64 {
+	//xqlint:ignore determinism fixture: annotated wall-clock read
+	return time.Now().Unix()
+}

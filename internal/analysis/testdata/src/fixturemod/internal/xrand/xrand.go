@@ -1,0 +1,9 @@
+// Package xrand is the fixture module's seeded-randomness wrapper: the
+// one simulation package allowed to import math/rand (the determinism
+// analyzer's exemption list names it).
+package xrand
+
+import "math/rand"
+
+// New returns a seeded generator.
+func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -20,6 +20,8 @@ func ReferenceDistribution(c Circuit) []float64 {
 			s.H(q)
 		case isa.MarkMagic:
 			s.PrepareResource(q, ftqc.AnglePi8.ResourceTheta())
+		case isa.MarkNone, isa.MarkZero:
+			// |0> is the simulator's initial state; nothing to prepare.
 		}
 	}
 	for _, rot := range c.Rotations {
@@ -46,6 +48,8 @@ func ProtocolSample(c Circuit, seed int64) int {
 			m.S.H(q)
 		case isa.MarkMagic:
 			m.S.PrepareResource(q, ftqc.AnglePi8.ResourceTheta())
+		case isa.MarkNone, isa.MarkZero:
+			// |0> is the machine's initial state; nothing to prepare.
 		}
 	}
 	tr := ftqc.NewTracker(n)

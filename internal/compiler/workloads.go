@@ -36,6 +36,7 @@ func (b *Builder) Rotate(angle ftqc.Angle, neg bool, factors map[int]pauli.Pauli
 	p := pauli.NewProduct(b.c.NLQ)
 	for q, op := range factors {
 		if q < 0 || q >= b.c.NLQ {
+			//xqlint:ignore nopanic API-misuse guard: Builder callers pass literal qubit indices
 			panic(fmt.Sprintf("compiler: qubit %d out of range", q))
 		}
 		p.Ops[q] = op
@@ -118,6 +119,7 @@ func RandomPPR(nLQ, count int, seed int64) Circuit {
 func SinglePPR(product string, angle ftqc.Angle) Circuit {
 	p, ok := pauli.ParseProduct(product)
 	if !ok {
+		//xqlint:ignore nopanic API-misuse guard: SinglePPR takes compile-time Pauli strings
 		panic("compiler: bad product " + product)
 	}
 	return Circuit{

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -183,18 +184,18 @@ func (s *System) SuccessRate(nPhys, windows int, r Rates) float64 {
 // RunScalingWorkload executes a reference random-PPR workload through the
 // pipeline in scaling mode (no tableau) and returns the metrics — the
 // traffic and activity breakdowns behind Fig. 16.
-func RunScalingWorkload(d int, physError float64, scheme decoder.Scheme, seed int64) *microarch.Metrics {
+func RunScalingWorkload(d int, physError float64, scheme decoder.Scheme, seed int64) (*microarch.Metrics, error) {
 	circ := workloadCircuit(4, 6, seed)
 	res, err := compiler.Compile(circ)
 	if err != nil {
-		panic("core: " + err.Error())
+		return nil, fmt.Errorf("core: compile scaling workload: %w", err)
 	}
 	cfg := PipelineConfig(d, physError, scheme, false, seed)
 	pl := microarch.NewPipeline(newLayout(circ.NLQ, d), cfg)
 	if err := pl.Run(res.Program); err != nil {
-		panic("core: " + err.Error())
+		return nil, fmt.Errorf("core: run scaling workload: %w", err)
 	}
-	return &pl.M
+	return &pl.M, nil
 }
 
 // LogicalErrorRate measures the per-window logical X-error rate of a

@@ -52,7 +52,10 @@ func TestValidateCircuitTableThreeRegime(t *testing.T) {
 }
 
 func TestRunScalingWorkloadMetrics(t *testing.T) {
-	m := RunScalingWorkload(7, 0.001, decoder.SchemePriority, 3)
+	m, err := RunScalingWorkload(7, 0.001, decoder.SchemePriority, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.ESMRounds == 0 || m.DecodeWindows == 0 {
 		t.Fatal("scaling run produced no activity")
 	}

@@ -231,6 +231,7 @@ func measureRatesN(d int, physError float64, scheme decoder.Scheme, seed int64, 
 	circ := workloadCircuit(nLQ, pprs, seed)
 	res, err := compileCircuit(circ)
 	if err != nil {
+		//xqlint:ignore nopanic unreachable guard: the internal reference workload always compiles; MeasureRates' dozen call sites have no error path
 		panic("core: " + err.Error())
 	}
 	cfg := microarch.Config{
@@ -249,6 +250,7 @@ func measureRatesN(d int, physError float64, scheme decoder.Scheme, seed int64, 
 	}
 	pl := microarch.NewPipeline(newLayout(nLQ, d), cfg)
 	if err := pl.Run(res.Program); err != nil {
+		//xqlint:ignore nopanic unreachable guard: the compiled reference workload always executes; see note above
 		panic("core: " + err.Error())
 	}
 	m := &pl.M

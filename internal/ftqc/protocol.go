@@ -164,9 +164,11 @@ func (r Rotation) Theta() float64 {
 func ExecutePPR(m Machine, tr *Tracker, rot Rotation, ancillaLQ, magicLQ int) Outcome {
 	n := m.NumLQ()
 	if rot.P.Len() != n {
+		//xqlint:ignore nopanic API-misuse guard: the compiler sizes every rotation to the machine
 		panic(fmt.Sprintf("ftqc: product over %d qubits on %d-qubit machine", rot.P.Len(), n))
 	}
 	if rot.P.Ops[ancillaLQ] != pauli.I || rot.P.Ops[magicLQ] != pauli.I {
+		//xqlint:ignore nopanic API-misuse guard: resource indices are appended beyond the data product
 		panic("ftqc: rotation touches the resource qubits")
 	}
 	if rot.Angle == AnglePi2 {
@@ -221,6 +223,9 @@ func ExecutePPR(m Machine, tr *Tracker, rot Rotation, ancillaLQ, magicLQ int) Ou
 		}
 	case AnglePi4:
 		bp = a != c != d
+	case AnglePi2:
+		// A pi/2 rotation is a Pauli: the tracker absorbs it directly
+		// and no byproduct is ever generated.
 	}
 	if bp {
 		tr.Apply(rot.P)

@@ -112,6 +112,8 @@ const (
 // String names the marker.
 func (m LQMark) String() string {
 	switch m {
+	case MarkNone:
+		return "none"
 	case MarkZero:
 		return "zero"
 	case MarkPlus:
@@ -119,7 +121,7 @@ func (m LQMark) String() string {
 	case MarkMagic:
 		return "magic"
 	}
-	return "none"
+	return "none" // two-bit field: unreachable
 }
 
 // QubitsPerInstr is the number of logical qubits addressed by one

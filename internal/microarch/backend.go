@@ -157,6 +157,7 @@ func (b *Backend) patchOf(lq int) int {
 		b.Layout.MapLogical(lq, b.Layout.MagicP, surface.InitMagic)
 		return b.Layout.MagicP
 	}
+	//xqlint:ignore nopanic unreachable guard: execLQI maps every LQ before any unit touches it
 	panic(fmt.Sprintf("microarch: logical qubit %d is not mapped", lq))
 }
 
@@ -216,6 +217,7 @@ func (b *Backend) PrepareResource(lq int, a ftqc.Angle) {
 		return
 	}
 	if a != ftqc.AnglePi4 {
+		//xqlint:ignore nopanic API-misuse guard: functional mode requires SubstituteStabilizer, documented on Compile
 		panic("microarch: pi/8 magic states are not stabilizer-preparable; run the circuit through SubstituteStabilizer for functional validation")
 	}
 	// |+i> = +1 eigenstate of logical Y: measure Y_L on |0_L> and fix the
@@ -253,6 +255,9 @@ func (b *Backend) logicalOps(lq int, basis pauli.Pauli) ([]int, []pauli.Pauli) {
 		}
 	}
 	switch basis {
+	case pauli.I:
+		// Identity basis: empty product, measured trivially below. No
+		// caller requests it; kept explicit for ISA exhaustiveness.
 	case pauli.Z:
 		add(b.Code.LogicalZ(), pauli.Z)
 	case pauli.X:
@@ -305,6 +310,7 @@ func (b *Backend) MeasureProduct(pr pauli.Product) bool {
 // pass-through error strings also gate the outcome (merged PPMs).
 func (b *Backend) MeasureProductDetail(pr pauli.Product, extraFramePatches []int) (corrected, raw, pfFlip bool) {
 	if pr.Len() != b.NumLQ() {
+		//xqlint:ignore nopanic unreachable guard: the pipeline builds products over exactly NumLQ qubits
 		panic("microarch: product width mismatch")
 	}
 	var tqs []int

@@ -152,18 +152,15 @@ func TestKeepAliveTrafficAccounting(t *testing.T) {
 	}
 }
 
-func TestInterpretWithoutMergePanics(t *testing.T) {
+func TestInterpretWithoutMergeErrors(t *testing.T) {
 	prog := isa.Program{{Op: isa.PPMInterpret, MregDst: 1}}
 	pl := NewPipeline(surface.NewPPRLayout(1, 3), testConfig(3, 0, 1))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for interpret without merge")
-		}
-	}()
-	_ = pl.Run(prog)
+	if err := pl.Run(prog); err == nil {
+		t.Fatal("expected error for interpret without merge")
+	}
 }
 
-func TestMergeUnmappedQubitPanics(t *testing.T) {
+func TestMergeUnmappedQubitErrors(t *testing.T) {
 	var in isa.Instr
 	in.Op = isa.MergeInfo
 	in.SetPauliAt(0, pauli.Z)
@@ -171,12 +168,9 @@ func TestMergeUnmappedQubitPanics(t *testing.T) {
 	// LQ 0 is mapped by the layout, but the magic qubit (index 3) is not:
 	in2 := isa.Instr{Op: isa.MergeInfo}
 	in2.SetPauliAt(3, pauli.Z)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for unmapped merge target")
-		}
-	}()
-	_ = pl.Run(isa.Program{in2})
+	if err := pl.Run(isa.Program{in2}); err == nil {
+		t.Fatal("expected error for unmapped merge target")
+	}
 }
 
 func TestVirtualTimeAdvances(t *testing.T) {

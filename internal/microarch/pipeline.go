@@ -136,6 +136,7 @@ type mergeResult struct {
 // NewPipeline builds a pipeline over a fresh layout and backend.
 func NewPipeline(layout *surface.PPRLayout, cfg Config) *Pipeline {
 	if cfg.MaskGenerators <= 0 {
+		//xqlint:ignore nopanic constructor precondition: every Config producer (core.PipelineConfig, config defaults) sets MaskGenerators; failing fast at build beats failing mid-run
 		panic("microarch: config needs mask generators")
 	}
 	if cfg.MaskSharing <= 0 {
@@ -208,7 +209,9 @@ func (p *Pipeline) Run(prog isa.Program) error {
 				p.M.Unit[UnitQID].ActiveCycles++
 				p.M.transfer(UnitQID, UnitPDU, 64)
 			}
-			p.execMergeInfo(group)
+			if err := p.execMergeInfo(group); err != nil {
+				return err
+			}
 			i = next
 		case isa.SplitInfo:
 			p.execSplitInfo()
@@ -232,10 +235,14 @@ func (p *Pipeline) Run(prog isa.Program) error {
 				p.M.Unit[UnitQID].ActiveCycles++
 				p.M.transfer(UnitQID, UnitPDU, 64)
 			}
-			p.execInterpret(group)
+			if err := p.execInterpret(group); err != nil {
+				return err
+			}
 			i = next
 		case isa.LQMX, isa.LQMZ, isa.LQMFM:
-			p.execLQM(in)
+			if err := p.execLQM(in); err != nil {
+				return err
+			}
 			i++
 		default:
 			return fmt.Errorf("microarch: unsupported opcode %v", in.Op)
@@ -286,6 +293,8 @@ func (p *Pipeline) execLQI(in isa.Instr) {
 	nPhys := 0
 	for _, t := range targets {
 		switch t.Mark {
+		case isa.MarkNone:
+			// TargetLQs never yields untargeted qubits.
 		case isa.MarkZero:
 			p.B.PrepareZero(t.LQ)
 		case isa.MarkPlus:
@@ -301,7 +310,7 @@ func (p *Pipeline) execLQI(in isa.Instr) {
 	p.M.VirtualNs += p.Cfg.T1QNs
 }
 
-func (p *Pipeline) execMergeInfo(group []isa.Instr) {
+func (p *Pipeline) execMergeInfo(group []isa.Instr) error {
 	pr := p.groupProduct(group)
 	var targets []int
 	for lq, op := range pr.Ops {
@@ -310,13 +319,13 @@ func (p *Pipeline) execMergeInfo(group []isa.Instr) {
 		}
 		patch, ok := p.B.Layout.PatchOfLQ(lq)
 		if !ok {
-			panic(fmt.Sprintf("microarch: MERGE_INFO targets unmapped LQ %d", lq))
+			return fmt.Errorf("microarch: MERGE_INFO targets unmapped LQ %d", lq)
 		}
 		targets = append(targets, patch)
 	}
 	region, err := p.B.Layout.MergeRegion(targets)
 	if err != nil {
-		panic("microarch: " + err.Error())
+		return fmt.Errorf("microarch: %w", err)
 	}
 	p.B.Layout.ApplyMerge(region)
 	for _, idx := range region {
@@ -329,6 +338,7 @@ func (p *Pipeline) execMergeInfo(group []isa.Instr) {
 	p.M.transfer(UnitPDU, UnitPIU, uint64(len(targets)*16))
 	p.M.Unit[UnitPIU].Ops++
 	p.M.Unit[UnitPIU].ActiveCycles += uint64(len(region)) // one patch per cycle
+	return nil
 }
 
 func (p *Pipeline) execSplitInfo() {
@@ -499,16 +509,16 @@ func angleOf(f isa.MeasFlag) ftqc.Angle {
 	return ftqc.AnglePi8
 }
 
-func (p *Pipeline) execInterpret(group []isa.Instr) {
+func (p *Pipeline) execInterpret(group []isa.Instr) error {
 	in := group[0]
 	pr := p.groupProduct(group)
 	if len(p.mergeResults) == 0 {
-		panic("microarch: PPM_INTERPRET without a recorded merge outcome")
+		return fmt.Errorf("microarch: PPM_INTERPRET without a recorded merge outcome")
 	}
 	res := p.mergeResults[0]
 	p.mergeResults = p.mergeResults[1:]
 	if res.product.String() != pr.String() {
-		panic(fmt.Sprintf("microarch: PPM_INTERPRET product %v does not match recorded merge %v", pr, res.product))
+		return fmt.Errorf("microarch: PPM_INTERPRET product %v does not match recorded merge %v", pr, res.product)
 	}
 
 	value := res.corrected
@@ -532,9 +542,10 @@ func (p *Pipeline) execInterpret(group []isa.Instr) {
 	p.M.Unit[UnitLMU].Ops++
 	p.M.Unit[UnitLMU].ActiveCycles += uint64(pr.Weight() + 1)
 	p.M.transfer(UnitPIU, UnitLMU, uint64(pr.Weight()*32))
+	return nil
 }
 
-func (p *Pipeline) execLQM(in isa.Instr) {
+func (p *Pipeline) execLQM(in isa.Instr) error {
 	d := p.B.Code.D
 	angle := angleOf(in.Flags)
 	for _, t := range in.TargetLQs() {
@@ -553,6 +564,8 @@ func (p *Pipeline) execLQM(in isa.Instr) {
 				basis = pauli.Z
 			}
 			p.M.transfer(UnitLMU, UnitQID, 1) // fm_basis feedback
+		default:
+			// The opcode dispatcher routes only the LQM family here.
 		}
 
 		pr := pauli.NewProduct(p.nLQ)
@@ -575,7 +588,7 @@ func (p *Pipeline) execLQM(in isa.Instr) {
 		// (a, b, c) and this measurement's value.
 		if in.Flags&isa.FlagBPCheck != 0 {
 			if len(p.condSlots) < 4 {
-				panic("microarch: BPCheck with incomplete condition slots")
+				return fmt.Errorf("microarch: BPCheck with incomplete condition slots")
 			}
 			a, b, c := p.condSlots[0], p.condSlots[1], p.condSlots[2]
 			var bp bool
@@ -607,4 +620,5 @@ func (p *Pipeline) execLQM(in isa.Instr) {
 		p.M.Unit[UnitPFU].ActiveCycles++
 	}
 	p.M.VirtualNs += p.Cfg.TMeasNs
+	return nil
 }

@@ -70,6 +70,7 @@ func (p *PIUModel) ForwardMerged() []surface.Patch {
 // RAM read).
 func (p *PIUModel) ReadInfo(idx int) (surface.Static, surface.Dynamic) {
 	if idx < 0 || idx >= p.lattice.NumPatches() {
+		//xqlint:ignore nopanic unreachable guard: patch indices come from the lattice's own merge regions
 		panic(fmt.Sprintf("microarch: patch %d out of range", idx))
 	}
 	p.Cycles++

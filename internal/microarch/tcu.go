@@ -47,6 +47,7 @@ type TCUEmission struct {
 // NewTCUModel returns a model with the given buffer depth.
 func NewTCUModel(depth int) *TCUModel {
 	if depth < 1 {
+		//xqlint:ignore nopanic constructor precondition: depth is a config constant, never user input
 		panic("microarch: TCU buffer depth must be positive")
 	}
 	return &TCUModel{Depth: 1 + depth} // +1 for the in-flight slot
@@ -57,6 +58,7 @@ func NewTCUModel(depth int) *TCUModel {
 // after the next pop.
 func (t *TCUModel) Push(id int, cycleTime uint64) bool {
 	if cycleTime == 0 {
+		//xqlint:ignore nopanic unreachable guard: the PSU derives cycle_time from non-empty mask schedules
 		panic(fmt.Sprintf("microarch: codeword %d has zero cycle_time", id))
 	}
 	if len(t.queue) >= t.Depth {
@@ -106,6 +108,7 @@ func (t *TCUModel) EmitAll(cycleTimes []uint64) []TCUEmission {
 	for i := 1; i < len(t.Emissions); i++ {
 		gap := t.Emissions[i].Cycle - t.Emissions[i-1].Cycle
 		if gap != cycleTimes[t.Emissions[i-1].ID] {
+			//xqlint:ignore nopanic invariant self-check: back-to-back emission is the property the model exists to enforce
 			panic(fmt.Sprintf("microarch: TCU idle gap at emission %d: gap %d want %d",
 				i, gap, cycleTimes[t.Emissions[i-1].ID]))
 		}

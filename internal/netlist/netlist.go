@@ -47,6 +47,9 @@ func (k Kind) clocked() bool {
 	switch k {
 	case AND, OR, XOR, NOT, MUX, DFF, NDRO:
 		return true
+	case SPLIT, BUF:
+		// Passive fanout/repeater elements sit outside the clock tree.
+		return false
 	}
 	return false
 }
@@ -77,6 +80,7 @@ func New(name string, inputs int) *Netlist {
 func (n *Netlist) Add(k Kind, inputs ...int) int {
 	for _, in := range inputs {
 		if in < 0 || in >= n.nextNet {
+			//xqlint:ignore nopanic API-misuse guard: nets are only produced by Add/Input on the same netlist
 			panic(fmt.Sprintf("netlist: gate %v reads undefined net %d", k, in))
 		}
 	}

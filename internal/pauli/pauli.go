@@ -171,6 +171,7 @@ func (pr Product) IsIdentity() bool { return pr.Weight() == 0 }
 // Both products must act on the same number of qubits.
 func (pr *Product) Mul(other Product) {
 	if len(pr.Ops) != len(other.Ops) {
+		//xqlint:ignore nopanic API-misuse guard: products in one computation share the machine's qubit count
 		panic("pauli: product length mismatch")
 	}
 	phase := pr.Phase + other.Phase
@@ -192,6 +193,7 @@ func (pr Product) Times(other Product) Product {
 // number of positions with anticommuting factors is even.
 func (pr Product) Commutes(other Product) bool {
 	if len(pr.Ops) != len(other.Ops) {
+		//xqlint:ignore nopanic API-misuse guard: products in one computation share the machine's qubit count
 		panic("pauli: product length mismatch")
 	}
 	anti := 0
@@ -223,6 +225,9 @@ func (f Frame) Get(q int) Pauli { return f.Ops[q] }
 // Z-type record flips an X-basis measurement.
 func (f Frame) FlipsMeasurement(q int, basis Pauli) bool {
 	switch basis {
+	case I:
+		// The identity is not a measurement basis; nothing flips.
+		return false
 	case Z:
 		return f.Ops[q].XBit()
 	case X:

@@ -23,12 +23,13 @@ var (
 func Start() (stop func()) {
 	stopPaths, err := StartPaths(*cpuProfile, *memProfile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "prof:", err)
+		_, _ = fmt.Fprintln(os.Stderr, "prof:", err)
+		//xqlint:ignore nopanic documented main-wiring helper: Start is the os.Exit convenience; StartPaths is the error-returning core
 		os.Exit(1)
 	}
 	return func() {
 		if err := stopPaths(); err != nil {
-			fmt.Fprintln(os.Stderr, "prof:", err)
+			_, _ = fmt.Fprintln(os.Stderr, "prof:", err)
 		}
 	}
 }
@@ -46,7 +47,7 @@ func StartPaths(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
+			_ = f.Close() // the StartCPUProfile error is the one worth reporting
 			return nil, err
 		}
 		cpuFile = f
@@ -65,7 +66,7 @@ func StartPaths(cpuPath, memPath string) (stop func() error, err error) {
 			}
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				f.Close()
+				_ = f.Close() // the WriteHeapProfile error is the one worth reporting
 				return err
 			}
 			return f.Close()

@@ -2,7 +2,6 @@ package stab
 
 import (
 	"fmt"
-	"math/rand"
 
 	"xqsim/internal/pauli"
 	"xqsim/internal/xrand"
@@ -48,6 +47,7 @@ func NewCircuit(n int) *Circuit { return &Circuit{N: n} }
 
 func (c *Circuit) check(q int) {
 	if q < 0 || q >= c.N {
+		//xqlint:ignore nopanic API-misuse guard: circuit builders index a fixed qubit count
 		panic(fmt.Sprintf("stab: qubit %d out of range", q))
 	}
 }
@@ -178,7 +178,7 @@ func (c *Circuit) SimulateTableau(seed int64) []bool {
 type FrameSampler struct {
 	c   *Circuit
 	ref []bool
-	rng *rand.Rand
+	rng *xrand.Rand
 }
 
 // NewFrameSampler builds the sampler (runs the reference simulation).

@@ -16,7 +16,6 @@ package stab
 import (
 	"fmt"
 	"math/bits"
-	"math/rand"
 
 	"xqsim/internal/pauli"
 	"xqsim/internal/xrand"
@@ -33,7 +32,7 @@ type Tableau struct {
 	// r[row] is the sign: 0 => +1, 1 => -1 (phases stay real for
 	// stabilizer rows; the intermediate 2-bit phase lives in rowsum).
 	r   []uint8
-	rng *rand.Rand
+	rng *xrand.Rand
 	// pmx/pmz hold the bit-packed X/Z masks of the Pauli product being
 	// measured, so per-row commutation checks are word-parallel popcounts
 	// instead of per-qubit bit probes.
@@ -43,6 +42,7 @@ type Tableau struct {
 // New returns an n-qubit tableau initialized to |0...0>.
 func New(n int, seed int64) *Tableau {
 	if n <= 0 {
+		//xqlint:ignore nopanic constructor precondition: qubit counts derive from lattice geometry
 		panic("stab: non-positive qubit count")
 	}
 	w := (n + 63) / 64
@@ -173,6 +173,8 @@ func (t *Tableau) Y(q int) { t.X(q); t.Z(q) }
 // ApplyPauli applies the single-qubit Pauli p to qubit q.
 func (t *Tableau) ApplyPauli(q int, p pauli.Pauli) {
 	switch p {
+	case pauli.I:
+		// Identity: no-op.
 	case pauli.X:
 		t.X(q)
 	case pauli.Z:
@@ -227,6 +229,7 @@ func (t *Tableau) loadScratch(qubits []int, ops []pauli.Pauli, sign uint8) {
 	t.r[s] = sign
 	for k, q := range qubits {
 		if q < 0 || q >= t.n {
+			//xqlint:ignore nopanic unreachable guard: callers pass indices from the tableau's own geometry
 			panic(fmt.Sprintf("stab: qubit %d out of range", q))
 		}
 		if ops[k].XBit() {
@@ -277,6 +280,7 @@ func (t *Tableau) anticommutesWithMasks(row int) bool {
 // Measuring the empty product returns (false, true).
 func (t *Tableau) MeasureProduct(qubits []int, ops []pauli.Pauli) (bool, bool) {
 	if len(qubits) != len(ops) {
+		//xqlint:ignore nopanic API-misuse guard: both slices come from the same logical-operator table
 		panic("stab: qubits/ops length mismatch")
 	}
 	t.loadProductMasks(qubits, ops)

@@ -14,7 +14,6 @@ package statevec
 import (
 	"math"
 	"math/cmplx"
-	"math/rand"
 
 	"xqsim/internal/pauli"
 	"xqsim/internal/xrand"
@@ -25,12 +24,13 @@ import (
 type State struct {
 	n    int
 	amps []complex128
-	rng  *rand.Rand
+	rng  *xrand.Rand
 }
 
 // New returns |0...0> on n qubits.
 func New(n int, seed int64) *State {
 	if n < 1 || n > 24 {
+		//xqlint:ignore nopanic constructor precondition: functional mode caps qubit counts at compile time
 		panic("statevec: qubit count out of supported range")
 	}
 	s := &State{n: n, amps: make([]complex128, 1<<uint(n)), rng: xrand.New(seed)}
@@ -133,6 +133,7 @@ func (s *State) PrepareResource(q int, theta float64) {
 // including the phase from each Y factor (Y = [[0,-i],[i,0]]).
 func (s *State) applyProduct(pr pauli.Product) {
 	if pr.Len() != s.n {
+		//xqlint:ignore nopanic unreachable guard: products are sized to the state by their builders
 		panic("statevec: product length mismatch")
 	}
 	var xMask, zMask, yCount int
@@ -154,6 +155,7 @@ func (s *State) applyProduct(pr pauli.Product) {
 	phasePow := []complex128{1, complex(0, 1), -1, complex(0, -1)}
 	_ = phasePow
 	for i, a := range s.amps {
+		//xqlint:ignore floateq exact sentinel: skips exactly-zero amplitudes, a pure optimization
 		if a == 0 {
 			continue
 		}
@@ -167,6 +169,9 @@ func (s *State) applyProduct(pr pauli.Product) {
 		for q, p := range pr.Ops {
 			bit := (i >> uint(q)) & 1
 			switch p {
+			case pauli.I, pauli.X:
+				// X contributes no phase here: the index flip is applied
+				// through xMask after the loop.
 			case pauli.Z:
 				if bit == 1 {
 					ph = -ph
@@ -275,6 +280,7 @@ func (s *State) MarginalDistribution(qubits []int) []float64 {
 	out := make([]float64, 1<<uint(len(qubits)))
 	for i, a := range s.amps {
 		p := real(a)*real(a) + imag(a)*imag(a)
+		//xqlint:ignore floateq exact sentinel: skips exactly-zero probabilities, a pure optimization
 		if p == 0 {
 			continue
 		}
@@ -292,6 +298,7 @@ func (s *State) MarginalDistribution(qubits []int) []float64 {
 // FidelityWith returns |<a|b>|^2.
 func (s *State) FidelityWith(o *State) float64 {
 	if s.n != o.n {
+		//xqlint:ignore nopanic API-misuse guard: fidelity compares states of one machine size
 		panic("statevec: qubit count mismatch")
 	}
 	var acc complex128
@@ -305,6 +312,7 @@ func (s *State) FidelityWith(o *State) float64 {
 // distributions of equal length: 0.5 * sum |p - q|.
 func TotalVariation(p, q []float64) float64 {
 	if len(p) != len(q) {
+		//xqlint:ignore nopanic API-misuse guard: distributions share one basis enumeration
 		panic("statevec: distribution length mismatch")
 	}
 	var d float64

@@ -48,6 +48,7 @@ type Code struct {
 // at least 3 for the boundary structure to be well formed.
 func NewCode(d int) Code {
 	if d < 3 || d%2 == 0 {
+		//xqlint:ignore nopanic constructor precondition: d is validated by every cmd flag parser
 		panic(fmt.Sprintf("surface: invalid code distance %d", d))
 	}
 	return Code{D: d}
@@ -151,6 +152,8 @@ func (s Side) String() string {
 		return "Right"
 	case Bottom:
 		return "Bottom"
+	case NoSide:
+		return "None"
 	}
 	return "None"
 }
@@ -166,6 +169,8 @@ func (s Side) Opposite() Side {
 		return Bottom
 	case Bottom:
 		return Top
+	case NoSide:
+		return NoSide
 	}
 	return NoSide
 }
@@ -299,6 +304,8 @@ func esmIncludes(e ESMType, b pauli.Pauli) bool {
 		return b == pauli.Z
 	case ESMX:
 		return b == pauli.X
+	case ESMNone:
+		return false
 	}
 	return false
 }

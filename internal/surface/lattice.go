@@ -20,6 +20,8 @@ const (
 // String returns the patch type name.
 func (t PatchType) String() string {
 	switch t {
+	case Unused:
+		return "unused"
 	case Mapped:
 		return "mapped"
 	case Intermediate:
@@ -44,6 +46,8 @@ const (
 // String returns the init-state name.
 func (s InitState) String() string {
 	switch s {
+	case InitNone:
+		return "-"
 	case InitZero:
 		return "|0>"
 	case InitPlus:
@@ -69,6 +73,8 @@ const (
 // String returns the ESM type name.
 func (e ESMType) String() string {
 	switch e {
+	case ESMNone:
+		return "None"
 	case ESMZ:
 		return "Z"
 	case ESMX:
@@ -121,6 +127,7 @@ type Lattice struct {
 // distance d.
 func NewLattice(rows, cols, d int) *Lattice {
 	if rows < 1 || cols < 1 {
+		//xqlint:ignore nopanic constructor precondition: dimensions derive from the LQ count
 		panic("surface: empty lattice")
 	}
 	l := &Lattice{
@@ -170,6 +177,7 @@ func (l *Lattice) Patch(idx int) *Patch { return &l.Patches[idx] }
 func (l *Lattice) MapLogical(lq, idx int, init InitState) {
 	p := &l.Patches[idx]
 	if p.Static.Type == Mapped {
+		//xqlint:ignore nopanic invariant guard: execLQI discards before remapping; double-map means pipeline corruption
 		panic(fmt.Sprintf("surface: patch %d already mapped to LQ %d", idx, p.Static.LQ))
 	}
 	p.Static.Type = Mapped
@@ -395,6 +403,7 @@ type PPRLayout struct {
 // distance d.
 func NewPPRLayout(nLQ, d int) *PPRLayout {
 	if nLQ < 1 {
+		//xqlint:ignore nopanic constructor precondition: NLQ is validated at compile time
 		panic("surface: need at least one logical qubit")
 	}
 	cols := 2*nLQ - 1

@@ -50,6 +50,7 @@ func (r Result) String() string {
 	for _, k := range keys {
 		v := r.Anchors[k]
 		dev := ""
+		//xqlint:ignore floateq exact sentinel: paper anchor 0.0 marks "no paper counterpart"
 		if v[0] != 0 {
 			dev = fmt.Sprintf(" (%+.1f%%)", 100*(v[1]-v[0])/v[0])
 		}
@@ -197,7 +198,11 @@ func Fig16(seed int64) Result {
 		Anchors: map[string][2]float64{},
 	}
 	// Transfer breakdown from a pipeline run.
-	m := core.RunScalingWorkload(d, config.PhysErrorRate, decoder.SchemePriority, seed)
+	m, err := core.RunScalingWorkload(d, config.PhysErrorRate, decoder.SchemePriority, seed)
+	if err != nil {
+		res.Notes = append(res.Notes, "scaling workload failed: "+err.Error())
+		return res
+	}
 	var total, psutcu uint64
 	for u := microarch.UnitQID; u <= microarch.UnitLMU; u++ {
 		bits := m.UnitTrafficBits(u)
@@ -581,6 +586,7 @@ func ThresholdStudy(trials int, seed int64) Result {
 }
 
 func safeRatio(a, b float64) float64 {
+	//xqlint:ignore floateq exact sentinel: rates are failure counts over trials; 0.0 means zero observed failures
 	if b == 0 {
 		return a * float64(1000) // lower bound when no failures observed
 	}

@@ -161,6 +161,8 @@ func Lockstep(c *stab.Circuit, seed int64) error {
 
 func applyPauliSV(sv *statevec.State, q int, p pauli.Pauli) {
 	switch p {
+	case pauli.I:
+		// Identity: no-op.
 	case pauli.X:
 		sv.X(q)
 	case pauli.Y:

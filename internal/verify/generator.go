@@ -22,7 +22,6 @@ package verify
 
 import (
 	"fmt"
-	"math/rand"
 	"strconv"
 	"strings"
 
@@ -97,7 +96,7 @@ func RandomCircuit(seed int64, shape CircuitShape) *stab.Circuit {
 	return c
 }
 
-func appendRandomGate(c *stab.Circuit, rng *rand.Rand) {
+func appendRandomGate(c *stab.Circuit, rng *xrand.Rand) {
 	n := c.N
 	switch k := rng.Intn(8); k {
 	case 0:
@@ -130,7 +129,7 @@ func appendRandomGate(c *stab.Circuit, rng *rand.Rand) {
 	}
 }
 
-func appendRandomNoise(c *stab.Circuit, rng *rand.Rand) {
+func appendRandomNoise(c *stab.Circuit, rng *xrand.Rand) {
 	q := rng.Intn(c.N)
 	p := noiseProbs[rng.Intn(len(noiseProbs))]
 	switch rng.Intn(3) {

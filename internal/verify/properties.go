@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"math/rand"
 	"reflect"
 
 	"xqsim/internal/isa"
@@ -15,7 +14,7 @@ import (
 
 // RandomProduct draws a uniform Pauli product on n qubits with a random
 // global phase.
-func RandomProduct(rng *rand.Rand, n int) pauli.Product {
+func RandomProduct(rng *xrand.Rand, n int) pauli.Product {
 	pr := pauli.NewProduct(n)
 	for q := range pr.Ops {
 		pr.Ops[q] = pauli.Pauli(rng.Intn(4))
@@ -28,7 +27,7 @@ func RandomProduct(rng *rand.Rand, n int) pauli.Product {
 // random H/S/T/CX sequence. Generic amplitudes make sign and phase
 // errors visible: on special states like |0...0> many wrong operators
 // act identically.
-func randomState(rng *rand.Rand, n int) *statevec.State {
+func randomState(rng *xrand.Rand, n int) *statevec.State {
 	sv := statevec.New(n, 0)
 	for i := 0; i < 4*n+4; i++ {
 		switch rng.Intn(4) {
@@ -124,7 +123,7 @@ func CheckPauli(seed int64, trials int) *Failure {
 // defining identity: applying error E then gate G equals applying G then
 // the conjugated error GEG†. Frames are phase-free, so states are
 // compared by fidelity.
-func checkFrameConjugation(rng *rand.Rand, n int) string {
+func checkFrameConjugation(rng *xrand.Rand, n int) string {
 	frame := pauli.NewFrame(n)
 	for q := range frame.Ops {
 		frame.Ops[q] = pauli.Pauli(rng.Intn(4))
@@ -176,7 +175,7 @@ func checkFrameConjugation(rng *rand.Rand, n int) string {
 
 // RandomProgram draws a random ISA program: uniform opcodes with uniform
 // field contents, the adversarial input class for assembler round-trips.
-func RandomProgram(rng *rand.Rand, maxLen int) isa.Program {
+func RandomProgram(rng *xrand.Rand, maxLen int) isa.Program {
 	p := make(isa.Program, 1+rng.Intn(maxLen))
 	for i := range p {
 		p[i] = isa.Instr{

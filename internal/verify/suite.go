@@ -3,7 +3,6 @@ package verify
 import (
 	"fmt"
 	"hash/fnv"
-	"math/rand"
 	"sort"
 
 	"xqsim/internal/xrand"
@@ -207,9 +206,9 @@ func (r Report) Summary() string {
 // checkSeedStream derives the deterministic per-check seed stream: a
 // pure function of (baseSeed, check name), so any trial replays from its
 // printed seed regardless of which other checks ran.
-func checkSeedStream(baseSeed int64, name string) *rand.Rand {
+func checkSeedStream(baseSeed int64, name string) *xrand.Rand {
 	h := fnv.New64a()
-	h.Write([]byte(name))
+	_, _ = h.Write([]byte(name)) // hash.Hash documents that Write never fails
 	return xrand.New(baseSeed ^ int64(h.Sum64()))
 }
 

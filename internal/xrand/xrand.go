@@ -14,6 +14,15 @@ package xrand
 
 import "math/rand"
 
+// Rand aliases math/rand.Rand so simulation packages can hold and pass
+// generators without importing math/rand themselves: the xqlint
+// determinism analyzer bans that import everywhere but here, making this
+// package the single chokepoint for randomness.
+type Rand = rand.Rand
+
+// Source64 aliases math/rand.Source64 for callers wrapping NewSource.
+type Source64 = rand.Source64
+
 // source implements rand.Source64 with xoshiro256**
 // (Blackman & Vigna, 2018).
 type source struct {
@@ -23,7 +32,7 @@ type source struct {
 // New returns a *rand.Rand drawing from a fast deterministic source
 // seeded with seed. It is a drop-in replacement for
 // rand.New(rand.NewSource(seed)) with O(1) seeding.
-func New(seed int64) *rand.Rand {
+func New(seed int64) *Rand {
 	var s source
 	s.Seed(seed)
 	return rand.New(&s)
@@ -31,7 +40,7 @@ func New(seed int64) *rand.Rand {
 
 // NewSource returns the bare Source64 for callers that want to wrap it
 // themselves.
-func NewSource(seed int64) rand.Source64 {
+func NewSource(seed int64) Source64 {
 	var s source
 	s.Seed(seed)
 	return &s
