@@ -9,10 +9,24 @@
 package xqsim_test
 
 import (
+	"context"
 	"testing"
 
 	"xqsim"
 )
+
+// mustResult adapts a driver's (Result, error) return for benchmark
+// loops (drivers are ctx-aware and can fail since the fault-injection
+// work): the returned closure fails the benchmark on error.
+func mustResult(b *testing.B) func(xqsim.ExperimentResult, error) xqsim.ExperimentResult {
+	return func(r xqsim.ExperimentResult, err error) xqsim.ExperimentResult {
+		b.Helper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+}
 
 // reportAnchors publishes an experiment's measured anchors as benchmark
 // metrics (paper values live in EXPERIMENTS.md).
@@ -33,8 +47,9 @@ func reportAnchors(b *testing.B, r xqsim.ExperimentResult, keys map[string]strin
 // 300K-4K-transfer constraint points.
 func BenchmarkFig5_ScalabilityConstraints(b *testing.B) {
 	var r xqsim.ExperimentResult
+	must := mustResult(b)
 	for i := 0; i < b.N; i++ {
-		r = xqsim.Fig5(1)
+		r = must(xqsim.Fig5(context.Background(), 1))
 	}
 	reportAnchors(b, r, map[string]string{
 		"bandwidth red line (Gbps)": "redline-Gbps",
@@ -76,7 +91,7 @@ func BenchmarkFig12_EstimatorValidationAIST(b *testing.B) {
 func BenchmarkTable3_FunctionalValidation(b *testing.B) {
 	var worst float64
 	for i := 0; i < b.N; i++ {
-		rows, err := xqsim.Table3(256, 3)
+		rows, err := xqsim.Table3(context.Background(), 256, 3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -95,8 +110,9 @@ func BenchmarkTable3_FunctionalValidation(b *testing.B) {
 // the 300K-4K transfer limit (paper: ~1,700).
 func BenchmarkFig14_CurrentSystem(b *testing.B) {
 	var r xqsim.ExperimentResult
+	must := mustResult(b)
 	for i := 0; i < b.N; i++ {
-		r = xqsim.Fig14(1)
+		r = must(xqsim.Fig14(context.Background(), 1))
 	}
 	reportAnchors(b, r, map[string]string{
 		"decode limit baseline":   "decode-limit-qubits",
@@ -110,8 +126,9 @@ func BenchmarkFig14_CurrentSystem(b *testing.B) {
 // Guideline #1.
 func BenchmarkFig16_UnitBreakdown(b *testing.B) {
 	var r xqsim.ExperimentResult
+	must := mustResult(b)
 	for i := 0; i < b.N; i++ {
-		r = xqsim.Fig16(1)
+		r = must(xqsim.Fig16(context.Background(), 1))
 	}
 	reportAnchors(b, r, map[string]string{
 		"PSU+TCU transfer share (%)":       "transfer-share-%",
@@ -125,8 +142,9 @@ func BenchmarkFig16_UnitBreakdown(b *testing.B) {
 // voltage scaling.
 func BenchmarkFig17_NearFutureSystem(b *testing.B) {
 	var r xqsim.ExperimentResult
+	must := mustResult(b)
 	for i := 0; i < b.N; i++ {
-		r = xqsim.Fig17(1)
+		r = must(xqsim.Fig17(context.Background(), 1))
 	}
 	reportAnchors(b, r, map[string]string{
 		"RSFQ power limit (baseline)":          "rsfq-base-qubits",
@@ -157,8 +175,9 @@ func BenchmarkFig18_PSUTCUOptimizations(b *testing.B) {
 // EDU power factor (paper: 18.8x), and the final ~59,000-qubit design.
 func BenchmarkFig19_FutureSystem(b *testing.B) {
 	var r xqsim.ExperimentResult
+	must := mustResult(b)
 	for i := 0; i < b.N; i++ {
-		r = xqsim.Fig19(1)
+		r = must(xqsim.Fig19(context.Background(), 1))
 	}
 	reportAnchors(b, r, map[string]string{
 		"ERSFQ power limit (EDU at 300K)": "power-limit-qubits",
@@ -175,7 +194,7 @@ func BenchmarkPipelineShot(b *testing.B) {
 	circ := xqsim.SinglePPR("ZZZ", xqsim.AnglePi8).SubstituteStabilizer()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := xqsim.RunShots(circ, 3, 0.001, 1, int64(i)); err != nil {
+		if _, _, err := xqsim.RunShots(context.Background(), circ, 3, 0.001, 1, int64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -218,8 +237,9 @@ func BenchmarkMeasureRatesCached(b *testing.B) {
 // paper's 14x point).
 func BenchmarkAblationMaskSharing(b *testing.B) {
 	var r xqsim.ExperimentResult
+	must := mustResult(b)
 	for i := 0; i < b.N; i++ {
-		r = xqsim.AblationMaskSharing(1)
+		r = must(xqsim.AblationMaskSharing(context.Background(), 1))
 	}
 	reportAnchors(b, r, map[string]string{"limit at the paper's 14x point": "limit-at-14x"})
 }
@@ -228,8 +248,9 @@ func BenchmarkAblationMaskSharing(b *testing.B) {
 // design (Table 4 fixes d=15).
 func BenchmarkAblationCodeDistance(b *testing.B) {
 	var r xqsim.ExperimentResult
+	must := mustResult(b)
 	for i := 0; i < b.N; i++ {
-		r = xqsim.AblationCodeDistance(1)
+		r = must(xqsim.AblationCodeDistance(context.Background(), 1))
 	}
 	reportAnchors(b, r, map[string]string{"physical scale at d=15": "scale-at-d15"})
 }
@@ -238,8 +259,9 @@ func BenchmarkAblationCodeDistance(b *testing.B) {
 // cooling budget).
 func BenchmarkSensitivity(b *testing.B) {
 	var r xqsim.ExperimentResult
+	must := mustResult(b)
 	for i := 0; i < b.N; i++ {
-		r = xqsim.Sensitivity(1)
+		r = must(xqsim.Sensitivity(context.Background(), 1))
 	}
 	reportAnchors(b, r, map[string]string{"scale at 1.5W (Table 4)": "scale-at-1.5W"})
 }
@@ -252,7 +274,7 @@ func BenchmarkMSDDistillation(b *testing.B) {
 	var dtv float64
 	for i := 0; i < b.N; i++ {
 		var err error
-		dtv, _, _, err = xqsim.ValidateCircuit(circ, 3, 0.001, 64, int64(i))
+		dtv, _, _, err = xqsim.ValidateCircuit(context.Background(), circ, 3, 0.001, 64, int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -264,8 +286,9 @@ func BenchmarkMSDDistillation(b *testing.B) {
 // error rate across distances — the decoder+backend validation loop.
 func BenchmarkThresholdStudy(b *testing.B) {
 	var r xqsim.ExperimentResult
+	must := mustResult(b)
 	for i := 0; i < b.N; i++ {
-		r = xqsim.ThresholdStudy(200, 5)
+		r = must(xqsim.ThresholdStudy(context.Background(), 200, 5))
 	}
 	reportAnchors(b, r, map[string]string{
 		"d=7 suppression vs d=3 at p=1% (x)": "suppression-x",

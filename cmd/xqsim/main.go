@@ -11,11 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"xqsim"
+	"xqsim/internal/config"
 	"xqsim/internal/prof"
 )
 
@@ -33,9 +37,23 @@ func main() {
 		system     = flag.String("system", "current", "system: current | current-opt1 | nf-rsfq | nf-rsfq-opt | nf-cmos | nf-cmos-vs | future | future-edu4k | future-final")
 		nphys      = flag.Int("n", 0, "evaluate scalability at this qubit count (0 = workload size)")
 		trace      = flag.String("trace", "", "write a per-instruction JSON trace of one shot to this file")
+
+		faultsOn    = flag.Bool("faults", false, "inject control-processor faults (decoder stalls, buffer overflow, link corruption) into every shot")
+		faultStall  = flag.Float64("fault-stall", config.DefaultFaultStallProb, "per-window decoder stall probability (with -faults)")
+		faultFactor = flag.Float64("fault-stall-factor", config.DefaultFaultStallFactor, "decode latency multiplier during a stall spike")
+		faultBuffer = flag.Int("fault-buffer", 0, "syndrome buffer capacity in ESM rounds (0 = one window, i.e. d rounds)")
+		faultPolicy = flag.String("fault-policy", "drop-oldest", "buffer overflow policy: drop-oldest | backpressure")
+		faultLink   = flag.Float64("fault-link", config.DefaultFaultLinkProb, "per-round cross-temperature link corruption probability")
+		faultRetry  = flag.Int("fault-retries", config.DefaultFaultLinkRetries, "link retransmission budget per round")
+		shotTimeout = flag.Duration("shot-timeout", 0, "per-shot watchdog timeout (0 = none)")
 	)
 	flag.Parse()
 	defer prof.Start()()
+
+	// SIGINT/SIGTERM cancel the run between pipeline instructions, so
+	// partial results and profiles still flush instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	circ, err := buildWorkload(*workload, *lq, *pprs, *product, *seed)
 	if err != nil {
@@ -57,8 +75,33 @@ func main() {
 		_, _ = fmt.Fprintf(os.Stderr, "wrote trace to %s\n", *trace)
 	}
 
+	opts := xqsim.RunOptions{ShotTimeout: *shotTimeout}
+	if *faultsOn {
+		policy, err := xqsim.ParseFaultPolicy(*faultPolicy)
+		if err != nil {
+			_, _ = fmt.Fprintln(os.Stderr, "xqsim:", err)
+			os.Exit(1)
+		}
+		buffer := *faultBuffer
+		if buffer == 0 {
+			buffer = *d // one decode window
+		}
+		opts.Faults = xqsim.FaultConfig{
+			StallProb:     *faultStall,
+			StallFactor:   *faultFactor,
+			BufferRounds:  buffer,
+			Policy:        policy,
+			LinkErrorProb: *faultLink,
+			LinkRetries:   *faultRetry,
+		}
+		if err := opts.Faults.Validate(); err != nil {
+			_, _ = fmt.Fprintln(os.Stderr, "xqsim:", err)
+			os.Exit(1)
+		}
+	}
+
 	if *functional {
-		dist, metrics, err := xqsim.RunShots(circ.SubstituteStabilizer(), *d, *p, *shots, *seed)
+		dist, metrics, err := xqsim.RunShotsOpt(ctx, circ.SubstituteStabilizer(), *d, *p, *shots, *seed, opts)
 		if err != nil {
 			_, _ = fmt.Fprintln(os.Stderr, "xqsim:", err)
 			os.Exit(1)
@@ -74,6 +117,16 @@ func main() {
 		}
 		fmt.Printf("ESM rounds: %d, decode windows: %d, instructions: %d\n",
 			metrics.ESMRounds, metrics.DecodeWindows, metrics.Instructions)
+		if *faultsOn {
+			f := metrics.Faults
+			fmt.Printf("fault injection: stall windows %d (%d cycles), dropped rounds %d, backpressure rounds %d, retransmits %d (%d backoff cycles)\n",
+				f.StallWindows, f.StallCycles, f.DroppedRounds, f.BackpressureRounds, f.Retransmits, f.BackoffCycles)
+		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		_, _ = fmt.Fprintln(os.Stderr, "xqsim: interrupted before the scalability evaluation:", err)
+		os.Exit(1)
 	}
 
 	rates := xqsim.MeasureRates(*d, *p, scheme, *seed)

@@ -5,17 +5,23 @@
 // Usage:
 //
 //	xqsweep -all
+//	xqsweep -all -checkpoint sweep.json          # snapshot after each cell
+//	xqsweep -all -checkpoint sweep.json -resume  # continue a killed run
 //	xqsweep -fig 14
 //	xqsweep -table 3 -shots 2048
+//	xqsweep -degradation
 //	xqsweep -fig 19 -csv fig19.csv
 //	xqsweep -fig 5 -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"xqsim"
 	"xqsim/internal/prof"
@@ -26,51 +32,64 @@ func main() {
 		fig         = flag.String("fig", "", "figure to regenerate: 5, 10, 12, 14, 16, 17, 18, 19")
 		sensitivity = flag.Bool("sensitivity", false, "run the Section-6.2 parameter sensitivity study")
 		threshold   = flag.Bool("threshold", false, "run the surface-code memory threshold study")
+		degradation = flag.Bool("degradation", false, "run the fault-injection degradation study (logical error rate vs decoder-stall rate)")
 		table       = flag.String("table", "", "table to regenerate: 3, 4")
 		all         = flag.Bool("all", false, "regenerate everything")
 		shots       = flag.Int("shots", 512, "shots for the Table-3 functional validation")
 		seed        = flag.Int64("seed", 1, "random seed")
 		csv         = flag.String("csv", "", "write the sweep series to this CSV file")
 		md          = flag.String("md", "", "write a Markdown reproduction report to this file")
+		checkpoint  = flag.String("checkpoint", "", "snapshot completed experiments to this JSON file after each cell")
+		resume      = flag.Bool("resume", false, "with -checkpoint: skip experiments the snapshot already holds")
 	)
 	flag.Parse()
 	defer prof.Start()()
 
-	var results []xqsim.ExperimentResult
-	run := func(id string) {
-		switch id {
-		case "5":
-			results = append(results, xqsim.Fig5(*seed))
-		case "10":
-			results = append(results, xqsim.Fig10())
-		case "12":
-			results = append(results, xqsim.Fig12())
-		case "14":
-			results = append(results, xqsim.Fig14(*seed))
-		case "16":
-			results = append(results, xqsim.Fig16(*seed))
-		case "17":
-			results = append(results, xqsim.Fig17(*seed))
-		case "18":
-			results = append(results, xqsim.Fig18())
-		case "19":
-			results = append(results, xqsim.Fig19(*seed))
-		case "t3":
-			r, err := xqsim.Table3Result(*shots, *seed)
+	// SIGINT/SIGTERM cancel the sweep between grid cells; the checkpoint
+	// keeps every completed cell, so -resume continues where it stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var ck *xqsim.SweepCheckpoint
+	if *checkpoint != "" {
+		if *resume {
+			loaded, err := xqsim.LoadSweepCheckpoint(*checkpoint)
 			if err != nil {
 				_, _ = fmt.Fprintln(os.Stderr, "xqsweep:", err)
 				os.Exit(1)
 			}
-			results = append(results, r)
-		case "t4":
-			results = append(results, xqsim.Table4())
-		case "sensitivity":
-			results = append(results, xqsim.Sensitivity(*seed))
-		case "threshold":
-			results = append(results, xqsim.ThresholdStudy(400, *seed))
-		default:
-			_, _ = fmt.Fprintf(os.Stderr, "xqsweep: unknown experiment %q\n", id)
+			if loaded.Compatible(*seed, *shots) {
+				ck = loaded
+				_, _ = fmt.Fprintf(os.Stderr, "resuming from %s (%d experiments done)\n", *checkpoint, len(loaded.Results))
+			} else if loaded != nil {
+				_, _ = fmt.Fprintf(os.Stderr, "checkpoint %s was taken with different -seed/-shots; starting over\n", *checkpoint)
+			}
+		}
+		if ck == nil {
+			ck = xqsim.NewSweepCheckpoint(*seed, *shots)
+		}
+	}
+
+	var results []xqsim.ExperimentResult
+	run := func(id string) {
+		if cid := canonicalID(id); ck.Has(cid) {
+			results = append(results, ck.Results[cid])
+			_, _ = fmt.Fprintf(os.Stderr, "skipping %s (checkpointed)\n", cid)
+			return
+		}
+		r, err := runExperiment(ctx, id, *shots, *seed)
+		if err != nil {
+			_, _ = fmt.Fprintln(os.Stderr, "xqsweep:", err)
+			flushPartial(results, *md, *csv)
 			os.Exit(1)
+		}
+		results = append(results, r)
+		if ck != nil {
+			ck.Put(r)
+			if err := ck.Save(*checkpoint); err != nil {
+				_, _ = fmt.Fprintln(os.Stderr, "xqsweep:", err)
+				os.Exit(1)
+			}
 		}
 	}
 
@@ -83,6 +102,8 @@ func main() {
 		run("sensitivity")
 	case *threshold:
 		run("threshold")
+	case *degradation:
+		run("degradation")
 	case *fig != "":
 		run(*fig)
 	case *table != "":
@@ -111,6 +132,74 @@ func main() {
 			os.Exit(1)
 		}
 		_, _ = fmt.Fprintf(os.Stderr, "wrote series to %s\n", *csv)
+	}
+}
+
+// canonicalID maps a command-line experiment id to the Result.ID the
+// driver reports (and the checkpoint is keyed by).
+func canonicalID(id string) string {
+	switch id {
+	case "t3":
+		return "table3"
+	case "t4":
+		return "table4"
+	case "5", "10", "12", "14", "16", "17", "18", "19":
+		return "fig" + id
+	}
+	return id
+}
+
+// runExperiment dispatches one experiment id to its driver.
+func runExperiment(ctx context.Context, id string, shots int, seed int64) (xqsim.ExperimentResult, error) {
+	switch id {
+	case "5":
+		return xqsim.Fig5(ctx, seed)
+	case "10":
+		return xqsim.Fig10(), nil
+	case "12":
+		return xqsim.Fig12(), nil
+	case "14":
+		return xqsim.Fig14(ctx, seed)
+	case "16":
+		return xqsim.Fig16(ctx, seed)
+	case "17":
+		return xqsim.Fig17(ctx, seed)
+	case "18":
+		return xqsim.Fig18(), nil
+	case "19":
+		return xqsim.Fig19(ctx, seed)
+	case "t3":
+		return xqsim.Table3Result(ctx, shots, seed)
+	case "t4":
+		return xqsim.Table4(), nil
+	case "sensitivity":
+		return xqsim.Sensitivity(ctx, seed)
+	case "threshold":
+		return xqsim.ThresholdStudy(ctx, 400, seed)
+	case "degradation":
+		return xqsim.DegradationStudy(ctx, 400, seed)
+	}
+	return xqsim.ExperimentResult{}, fmt.Errorf("unknown experiment %q", id)
+}
+
+// flushPartial writes whatever completed before a failure or interrupt,
+// so a canceled sweep still leaves its partial report behind.
+func flushPartial(results []xqsim.ExperimentResult, md, csv string) {
+	if len(results) == 0 {
+		return
+	}
+	for _, r := range results {
+		fmt.Println(r)
+	}
+	if md != "" {
+		if err := os.WriteFile(md, []byte(xqsim.MarkdownReport(results)), 0o644); err != nil {
+			_, _ = fmt.Fprintln(os.Stderr, "xqsweep:", err)
+		}
+	}
+	if csv != "" {
+		if err := writeCSV(csv, results); err != nil {
+			_, _ = fmt.Fprintln(os.Stderr, "xqsweep:", err)
+		}
 	}
 }
 

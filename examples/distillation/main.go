@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"xqsim"
@@ -32,7 +33,7 @@ func main() {
 		{3, 0}, {3, 0.0005}, {3, 0.001}, {3, 0.002},
 		{5, 0.001},
 	} {
-		dist, _, err := xqsim.RunShots(circ.SubstituteStabilizer(), cfg.d, cfg.p, shots, 7)
+		dist, _, err := xqsim.RunShots(context.Background(), circ.SubstituteStabilizer(), cfg.d, cfg.p, shots, 7)
 		if err != nil {
 			panic(err)
 		}

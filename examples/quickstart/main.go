@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"xqsim"
@@ -32,7 +33,7 @@ func main() {
 	//    (pi/8 rotations run under the documented stabilizer substitution
 	//    in functional validation).
 	sub := circ.SubstituteStabilizer()
-	dist, metrics, err := xqsim.RunShots(sub, 3, 0.001, 512, 7)
+	dist, metrics, err := xqsim.RunShots(context.Background(), sub, 3, 0.001, 512, 7)
 	if err != nil {
 		panic(err)
 	}

@@ -15,6 +15,9 @@
 //     calling panic, log.Fatal, or os.Exit on reachable paths.
 //   - floateq: no == or != on floating-point operands.
 //   - errignore: no silently discarded error returns.
+//   - ctxfirst: exported functions taking a context.Context take it as
+//     the first parameter, so every cancelable entry point reads the
+//     same way.
 //
 // A finding can be suppressed with an annotation on the offending line
 // (or the line directly above):
@@ -86,6 +89,7 @@ func All() []*Analyzer {
 		nopanicAnalyzer,
 		floateqAnalyzer,
 		errignoreAnalyzer,
+		ctxfirstAnalyzer,
 	}
 }
 

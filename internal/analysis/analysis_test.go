@@ -117,9 +117,9 @@ func TestFixtureNegatives(t *testing.T) {
 }
 
 // TestAnalyzerListStable pins the suite's composition: CI wiring and the
-// docs name these five analyzers.
+// docs name these six analyzers.
 func TestAnalyzerListStable(t *testing.T) {
-	want := []string{"determinism", "exhaustive", "nopanic", "floateq", "errignore"}
+	want := []string{"determinism", "exhaustive", "nopanic", "floateq", "errignore", "ctxfirst"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

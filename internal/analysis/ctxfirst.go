@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxfirstAnalyzer flags exported functions and methods that accept a
+// context.Context anywhere but as the first parameter. The runtime
+// threads cancellation through RunShots, the sweep drivers, and the
+// pipeline; the ctx-first convention is what lets a reader (and the
+// signal handlers in cmd/*) assume every ctx-taking entry point is
+// cancelable the same way. A context buried mid-signature is the
+// standard prelude to one that is accepted but never consulted.
+var ctxfirstAnalyzer = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "exported functions taking a context.Context must take it as the first parameter",
+	Run:  runCtxfirst,
+}
+
+func runCtxfirst(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() || fd.Type.Params == nil {
+				continue
+			}
+			idx := 0
+			for _, field := range fd.Type.Params.List {
+				// An anonymous field still occupies one parameter slot.
+				n := len(field.Names)
+				if n == 0 {
+					n = 1
+				}
+				if isContextType(p.Info.TypeOf(field.Type)) && idx > 0 {
+					p.Reportf(field.Type.Pos(), "ctxfirst",
+						"exported %s takes context.Context as parameter %d; make it the first parameter",
+						fd.Name.Name, idx+1)
+				}
+				idx += n
+			}
+		}
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

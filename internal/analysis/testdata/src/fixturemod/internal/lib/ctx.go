@@ -1,0 +1,22 @@
+// ctx.go exercises ctxfirst: exported signatures with a misplaced
+// context, the conventional ctx-first shape, and the escapes.
+package lib
+
+import "context"
+
+// FetchLate buries its context mid-signature: finding.
+func FetchLate(name string, ctx context.Context) error { return ctx.Err() }
+
+// Fetch takes the context first: no finding.
+func Fetch(ctx context.Context, name string) error { return ctx.Err() }
+
+// fetchLate is unexported: no finding.
+func fetchLate(name string, ctx context.Context) error { return ctx.Err() }
+
+// FetchLegacy keeps a frozen public signature under an annotation: no
+// finding.
+//
+//xqlint:ignore ctxfirst fixture: frozen signature
+func FetchLegacy(name string, ctx context.Context) error {
+	return fetchLate(name, ctx)
+}

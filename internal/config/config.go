@@ -95,3 +95,16 @@ const (
 	LogicalErrorA  = 0.1
 	ErrorThreshold = 0.01 // ~1% circuit threshold [15]
 )
+
+// Default fault-injection profile (the xqsim -faults flag and the CI
+// fault-injection smoke job). The stall parameters put the decoder under
+// visible pressure — a quarter of the windows spike to 4x latency against
+// a one-window syndrome buffer — without drowning the signal; the link
+// parameters model a rare cross-temperature transfer upset that the
+// bounded retry budget almost always recovers.
+const (
+	DefaultFaultStallProb   = 0.25
+	DefaultFaultStallFactor = 4.0
+	DefaultFaultLinkProb    = 0.01
+	DefaultFaultLinkRetries = 3
+)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -78,10 +79,16 @@ func TestMeasureRatesConcurrent(t *testing.T) {
 // trial independent of scheduling, and the rate is a pure count.
 func TestLogicalErrorRateSchedulingInvariant(t *testing.T) {
 	const trials = 40
-	par := LogicalErrorRate(3, 0.01, 3, trials, 900004)
+	par, err := LogicalErrorRate(context.Background(), 3, 0.01, 3, trials, 900004)
+	if err != nil {
+		t.Fatal(err)
+	}
 	prev := runtime.GOMAXPROCS(1)
-	ser := LogicalErrorRate(3, 0.01, 3, trials, 900004)
+	ser, err := LogicalErrorRate(context.Background(), 3, 0.01, 3, trials, 900004)
 	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if par != ser {
 		t.Fatalf("parallel rate %v != serial rate %v", par, ser)
 	}

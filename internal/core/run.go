@@ -1,16 +1,19 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xqsim/internal/compiler"
 	"xqsim/internal/config"
 	"xqsim/internal/decoder"
 	"xqsim/internal/estimator"
+	"xqsim/internal/faults"
 	"xqsim/internal/microarch"
 	"xqsim/internal/pauli"
 	"xqsim/internal/statevec"
@@ -44,6 +47,62 @@ func PipelineConfig(d int, physError float64, scheme decoder.Scheme, functional 
 	}
 }
 
+// RunOptions tunes RunShotsOpt beyond the standard happy path.
+type RunOptions struct {
+	// Faults configures deterministic fault injection in every shot's
+	// pipeline (decoder stalls, buffer overflow, link corruption); the
+	// zero value injects nothing.
+	Faults faults.Config
+	// ShotTimeout is the per-shot watchdog: a shot whose pipeline run
+	// exceeds it is aborted and reported as an error carrying the shot
+	// index and seed. Zero disables the watchdog.
+	ShotTimeout time.Duration
+}
+
+// shotSeedStride separates per-shot seed streams (a prime, so strides
+// never fold onto each other for nearby base seeds).
+const shotSeedStride = 104729
+
+// ShotSeed returns the derived seed of one shot, so a failed shot
+// reported by RunShots can be replayed in isolation.
+func ShotSeed(seed int64, shot int) int64 { return seed + int64(shot)*shotSeedStride }
+
+// shotHook, when non-nil, runs at the start of every shot. It exists so
+// tests can inject deliberate panics into worker goroutines.
+var shotHook func(shot int)
+
+// runOneShot executes a single shot end to end, converting a worker
+// panic into an error that names the shot and its seed for replay.
+func runOneShot(ctx context.Context, res *compiler.Result, nLQ, d int, physError float64, seed int64, s int, opts RunOptions) (m *microarch.Metrics, key int, err error) {
+	shotSeed := ShotSeed(seed, s)
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: shot %d panicked: %v (replay with seed %d)", s, r, shotSeed)
+		}
+	}()
+	if shotHook != nil {
+		shotHook(s)
+	}
+	cfg := PipelineConfig(d, physError, decoder.SchemePriority, true, shotSeed)
+	cfg.Faults = opts.Faults
+	pl := microarch.NewPipeline(surface.NewPPRLayout(nLQ, d), cfg)
+	runCtx := ctx
+	if opts.ShotTimeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, opts.ShotTimeout)
+		defer cancel()
+	}
+	if err := pl.RunCtx(runCtx, res.Program); err != nil {
+		return nil, 0, fmt.Errorf("core: shot %d (seed %d): %w", s, shotSeed, err)
+	}
+	for q, mreg := range res.FinalMreg {
+		if pl.M.MregFile[uint16(mreg)] {
+			key |= 1 << uint(q)
+		}
+	}
+	return &pl.M, key, nil
+}
+
 // RunShots executes a circuit through the full stack (compiler -> QISA ->
 // microarchitecture -> noisy surface-code backend) for the given number of
 // shots and returns the empirical distribution over final logical
@@ -52,8 +111,21 @@ func PipelineConfig(d int, physError float64, scheme decoder.Scheme, functional 
 //
 // Shots run across GOMAXPROCS workers; per-shot seeds are derived
 // deterministically from the base seed, so the distribution is
-// reproducible regardless of scheduling.
-func RunShots(circ compiler.Circuit, d int, physError float64, shots int, seed int64) ([]float64, *microarch.Metrics, error) {
+// reproducible regardless of scheduling. Canceling ctx aborts the run
+// between instructions and returns the context's error.
+func RunShots(ctx context.Context, circ compiler.Circuit, d int, physError float64, shots int, seed int64) ([]float64, *microarch.Metrics, error) {
+	return RunShotsOpt(ctx, circ, d, physError, shots, seed, RunOptions{})
+}
+
+// RunShotsOpt is RunShots with fault injection and a per-shot watchdog.
+// The returned metrics carry the final shot's accounting, except Faults,
+// which is summed across all shots (an integer reduction, so it is
+// identical regardless of worker scheduling). A panicking shot is
+// recovered and reported as an error naming the shot index and seed.
+func RunShotsOpt(ctx context.Context, circ compiler.Circuit, d int, physError float64, shots int, seed int64, opts RunOptions) ([]float64, *microarch.Metrics, error) {
+	if err := opts.Faults.Validate(); err != nil {
+		return nil, nil, err
+	}
 	res, err := compiler.Compile(circ)
 	if err != nil {
 		return nil, nil, err
@@ -66,66 +138,80 @@ func RunShots(circ compiler.Circuit, d int, physError float64, shots int, seed i
 	if workers < 1 {
 		workers = 1
 	}
-	type shotResult struct {
-		key  int
-		m    *microarch.Metrics
-		shot int
-		err  error
-	}
-	jobs := make(chan int)
-	results := make(chan shotResult, workers)
+
+	counts := make([]float64, 1<<uint(circ.NLQ))
+	var (
+		mu           sync.Mutex
+		last         *microarch.Metrics
+		lastShot     = -1
+		firstErr     error
+		firstErrShot = shots
+		faultSum     faults.Totals
+	)
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for s := range jobs {
-				cfg := PipelineConfig(d, physError, decoder.SchemePriority, true, seed+int64(s)*104729)
-				pl := microarch.NewPipeline(surface.NewPPRLayout(circ.NLQ, d), cfg)
-				if err := pl.Run(res.Program); err != nil {
-					results <- shotResult{err: err}
+			// Per-worker tallies; merged under the mutex once at the end
+			// so the hot loop stays contention-free.
+			local := make([]float64, len(counts))
+			var localFaults faults.Totals
+			localLast := -1
+			var localM *microarch.Metrics
+			var localErr error
+			localErrShot := shots
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shots {
+					break
+				}
+				if err := ctx.Err(); err != nil {
+					if s < localErrShot {
+						localErr, localErrShot = err, s
+					}
+					break
+				}
+				m, key, err := runOneShot(ctx, res, circ.NLQ, d, physError, seed, s, opts)
+				if err != nil {
+					if s < localErrShot {
+						localErr, localErrShot = err, s
+					}
 					continue
 				}
-				key := 0
-				for q, mreg := range res.FinalMreg {
-					if pl.M.MregFile[uint16(mreg)] {
-						key |= 1 << uint(q)
-					}
+				local[key]++
+				localFaults.Add(m.Faults)
+				if s > localLast {
+					localLast, localM = s, m
 				}
-				results <- shotResult{key: key, m: &pl.M, shot: s}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for i, c := range local {
+				counts[i] += c
+			}
+			faultSum.Add(localFaults)
+			if localLast > lastShot {
+				lastShot, last = localLast, localM
+			}
+			// Deterministic error selection: the lowest-indexed failing
+			// shot wins, regardless of which worker saw it first.
+			if localErr != nil && localErrShot < firstErrShot {
+				firstErr, firstErrShot = localErr, localErrShot
 			}
 		}()
 	}
-	go func() {
-		for s := 0; s < shots; s++ {
-			jobs <- s
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
+	wg.Wait()
 
-	counts := make([]float64, 1<<uint(circ.NLQ))
-	var last *microarch.Metrics
-	lastShot := -1
-	var firstErr error
-	for r := range results {
-		if r.err != nil {
-			if firstErr == nil {
-				firstErr = r.err
-			}
-			continue
-		}
-		counts[r.key]++
-		if r.shot > lastShot {
-			lastShot, last = r.shot, r.m
-		}
-	}
 	if firstErr != nil {
 		return nil, nil, firstErr
 	}
 	for i := range counts {
 		counts[i] /= float64(shots)
+	}
+	if last != nil {
+		last.Faults = faultSum
 	}
 	return counts, last, nil
 }
@@ -133,13 +219,13 @@ func RunShots(circ compiler.Circuit, d int, physError float64, shots int, seed i
 // ValidateCircuit computes the Table-3 total variation distance between
 // the noisy physical-level sampling and the exact logical reference for a
 // benchmark circuit.
-func ValidateCircuit(circ compiler.Circuit, d int, physError float64, shots int, seed int64) (dtv float64, phys []float64, ref []float64, err error) {
+func ValidateCircuit(ctx context.Context, circ compiler.Circuit, d int, physError float64, shots int, seed int64) (dtv float64, phys []float64, ref []float64, err error) {
 	if err := circ.Validate(); err != nil {
 		return 0, nil, nil, err
 	}
 	sub := circ.SubstituteStabilizer()
 	ref = compiler.ReferenceDistribution(sub)
-	phys, _, err = RunShots(sub, d, physError, shots, seed)
+	phys, _, err = RunShots(ctx, sub, d, physError, shots, seed)
 	if err != nil {
 		return 0, nil, nil, err
 	}
@@ -198,6 +284,46 @@ func RunScalingWorkload(d int, physError float64, scheme decoder.Scheme, seed in
 	return &pl.M, nil
 }
 
+// trialSeedStride separates per-trial seed streams of the memory
+// experiment (a prime, like shotSeedStride).
+const trialSeedStride = 6151
+
+// memoryTrial runs one threshold-experiment trial: prepare |0_L>, run
+// `windows` decode windows with fault injection, and report whether the
+// final Z readout flipped. A panic inside the backend is converted into
+// an error naming the trial and its seed.
+func memoryTrial(d int, p float64, windows int, trialSeed int64, fcfg faults.Config) (fail bool, tot faults.Totals, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: memory trial panicked: %v (replay with seed %d)", r, trialSeed)
+		}
+	}()
+	layout := surface.NewPPRLayout(1, d)
+	b := microarch.NewBackend(layout, p, trialSeed, true)
+	inj := faults.NewInjector(fcfg, trialSeed)
+	b.PrepareZero(0)
+	for w := 0; w < windows; w++ {
+		for r := 0; r < d; r++ {
+			b.InjectRoundNoise()
+			if inj.Round().DropEvents {
+				b.DropNextRoundEvents()
+			}
+			b.MeasureSyndromesRound(r == d-1)
+		}
+		wd := b.FinishWindow()
+		// The injector prices the window at the same decode cost the full
+		// pipeline would; under backpressure overflow the data qubits
+		// idle (and decohere) for the excess rounds.
+		wo := inj.Window(microarch.DecodeWindowCycles(decoder.SchemePriority, d, wd), d)
+		for i := 0; i < wo.BackpressureRounds; i++ {
+			b.InjectRoundNoise()
+		}
+	}
+	pr := pauli.NewProduct(b.NumLQ())
+	pr.Ops[0] = pauli.Z
+	return b.MeasureProduct(pr), inj.Totals(), nil
+}
+
 // LogicalErrorRate measures the per-window logical X-error rate of a
 // single-patch quantum memory at distance d and physical error rate p, by
 // direct simulation of the backend: prepare |0_L>, run `windows` decode
@@ -205,44 +331,78 @@ func RunScalingWorkload(d int, physError float64, scheme decoder.Scheme, seed in
 // experiment; internal/sweep.ThresholdStudy sweeps it across distances.
 // Trials are independent simulations with per-trial seeds, so they run
 // across GOMAXPROCS workers; the returned rate is a pure count and thus
-// identical to the serial loop's regardless of scheduling.
-func LogicalErrorRate(d int, p float64, windows, trials int, seed int64) float64 {
+// identical to the serial loop's regardless of scheduling. Canceling ctx
+// aborts between trials with the context's error.
+func LogicalErrorRate(ctx context.Context, d int, p float64, windows, trials int, seed int64) (float64, error) {
+	rate, _, err := LogicalErrorRateFaults(ctx, d, p, windows, trials, seed, faults.Config{})
+	return rate, err
+}
+
+// LogicalErrorRateFaults is LogicalErrorRate under an injected fault
+// environment; it additionally returns the fault totals summed across all
+// trials (an integer reduction, so deterministic under any scheduling).
+// This is the probe behind the degradation curves: logical error rate
+// versus injected decoder-stall or link-corruption rate.
+func LogicalErrorRateFaults(ctx context.Context, d int, p float64, windows, trials int, seed int64, fcfg faults.Config) (float64, faults.Totals, error) {
+	if err := fcfg.Validate(); err != nil {
+		return 0, faults.Totals{}, err
+	}
 	if trials <= 0 {
-		return 0
+		return 0, faults.Totals{}, nil
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > trials {
 		workers = trials
 	}
-	var fails, next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		mu          sync.Mutex
+		firstErr    error
+		firstErrIdx = trials
+		faultSum    faults.Totals
+		fails, next atomic.Int64
+		wg          sync.WaitGroup
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var localFaults faults.Totals
+			var localErr error
+			localErrIdx := trials
 			for {
 				t := int(next.Add(1)) - 1
 				if t >= trials {
-					return
+					break
 				}
-				layout := surface.NewPPRLayout(1, d)
-				b := microarch.NewBackend(layout, p, seed+int64(t)*6151, true)
-				b.PrepareZero(0)
-				for w := 0; w < windows; w++ {
-					for r := 0; r < d; r++ {
-						b.InjectRoundNoise()
-						b.MeasureSyndromesRound(r == d-1)
+				if err := ctx.Err(); err != nil {
+					if t < localErrIdx {
+						localErr, localErrIdx = err, t
 					}
-					b.FinishWindow()
+					break
 				}
-				pr := pauli.NewProduct(b.NumLQ())
-				pr.Ops[0] = pauli.Z
-				if b.MeasureProduct(pr) {
+				fail, tot, err := memoryTrial(d, p, windows, seed+int64(t)*trialSeedStride, fcfg)
+				if err != nil {
+					if t < localErrIdx {
+						localErr, localErrIdx = err, t
+					}
+					continue
+				}
+				if fail {
 					fails.Add(1)
 				}
+				localFaults.Add(tot)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			faultSum.Add(localFaults)
+			if localErr != nil && localErrIdx < firstErrIdx {
+				firstErr, firstErrIdx = localErr, localErrIdx
 			}
 		}()
 	}
 	wg.Wait()
-	return float64(fails.Load()) / float64(trials)
+	if firstErr != nil {
+		return 0, faults.Totals{}, firstErr
+	}
+	return float64(fails.Load()) / float64(trials), faultSum, nil
 }

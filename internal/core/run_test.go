@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"xqsim/internal/compiler"
@@ -13,7 +14,7 @@ func TestRunShotsDistribution(t *testing.T) {
 	// Noiseless PPR(pi/4, Z) on |0>: the state stays |0> up to phase, so
 	// the readout must be deterministic 0.
 	circ := compiler.SinglePPR("Z", ftqc.AnglePi4)
-	dist, m, err := RunShots(circ, 3, 0, 40, 5)
+	dist, m, err := RunShots(context.Background(), circ, 3, 0, 40, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,10 +28,10 @@ func TestRunShotsDistribution(t *testing.T) {
 
 func TestRunShotsCompileError(t *testing.T) {
 	bad := compiler.Circuit{NLQ: 0}
-	if _, _, err := RunShots(bad, 3, 0, 1, 1); err == nil {
+	if _, _, err := RunShots(context.Background(), bad, 3, 0, 1, 1); err == nil {
 		t.Fatal("expected compile error")
 	}
-	if _, _, _, err := ValidateCircuit(bad, 3, 0, 1, 1); err == nil {
+	if _, _, _, err := ValidateCircuit(context.Background(), bad, 3, 0, 1, 1); err == nil {
 		t.Fatal("expected validate error")
 	}
 }
@@ -39,7 +40,7 @@ func TestValidateCircuitTableThreeRegime(t *testing.T) {
 	// A single-PPR benchmark at d=3, p=0.1% must validate with small dTV
 	// (the Table-3 regime).
 	circ := compiler.SinglePPR("ZZ", ftqc.AnglePi8)
-	dtv, phys, ref, err := ValidateCircuit(circ, 3, 0.001, 300, 11)
+	dtv, phys, ref, err := ValidateCircuit(context.Background(), circ, 3, 0.001, 300, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,11 +125,11 @@ func TestRunShotsDeterministicAcrossScheduling(t *testing.T) {
 	// Per-shot seeds are fixed, so the distribution is identical across
 	// runs despite parallel scheduling.
 	circ := compiler.SinglePPR("XZ", ftqc.AnglePi4)
-	a, _, err := RunShots(circ, 3, 0.002, 64, 13)
+	a, _, err := RunShots(context.Background(), circ, 3, 0.002, 64, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := RunShots(circ, 3, 0.002, 64, 13)
+	b, _, err := RunShots(context.Background(), circ, 3, 0.002, 64, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestMSDSelfCheckThroughFullPipeline(t *testing.T) {
 	circ := compiler.MSD15To1SelfCheck()
 	// Noiseless first: the datapath must match the substituted reference
 	// exactly (up to sampling).
-	dtv0, _, _, err := ValidateCircuit(circ, 3, 0, 150, 21)
+	dtv0, _, _, err := ValidateCircuit(context.Background(), circ, 3, 0, 150, 21)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestMSDSelfCheckThroughFullPipeline(t *testing.T) {
 	// With noise at d=3 this 31-rotation workload accumulates real
 	// logical errors (~93 decode windows over ~8 active patches); the
 	// distribution must still stay recognizably close.
-	dtv, _, _, err := ValidateCircuit(circ, 3, 0.001, 150, 21)
+	dtv, _, _, err := ValidateCircuit(context.Background(), circ, 3, 0.001, 150, 21)
 	if err != nil {
 		t.Fatal(err)
 	}

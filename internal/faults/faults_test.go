@@ -1,0 +1,228 @@
+package faults
+
+import (
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero", Config{}, true},
+		{"stall", Config{StallProb: 0.2, StallFactor: 8}, true},
+		{"link", Config{LinkErrorProb: 0.01, LinkRetries: 3}, true},
+		{"full", Config{StallProb: 0.5, StallFactor: 4, BufferRounds: 10, Policy: PolicyBackpressure, LinkErrorProb: 0.1, LinkRetries: 2}, true},
+		{"negative stall prob", Config{StallProb: -0.1, StallFactor: 2}, false},
+		{"stall prob above 1", Config{StallProb: 1.5, StallFactor: 2}, false},
+		{"factor below 1", Config{StallProb: 0.1, StallFactor: 0.5}, false},
+		{"negative buffer", Config{BufferRounds: -1}, false},
+		{"negative retries", Config{LinkRetries: -2}, false},
+		{"link prob above 1", Config{LinkErrorProb: 2}, false},
+		{"bad policy", Config{Policy: Policy(9)}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.cfg.Validate()
+			if c.ok && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if !c.ok && err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	if (Config{StallProb: 0.5, StallFactor: 1}).Enabled() {
+		t.Fatal("factor 1 stall cannot spike; must report disabled")
+	}
+	if !(Config{StallProb: 0.5, StallFactor: 2}).Enabled() {
+		t.Fatal("stall config reports disabled")
+	}
+	if !(Config{LinkErrorProb: 0.1}).Enabled() {
+		t.Fatal("link config reports disabled")
+	}
+	if NewInjector(Config{}, 1) != nil {
+		t.Fatal("disabled config must yield a nil injector")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, p := range []Policy{PolicyDropOldest, PolicyBackpressure} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Fatal("ParsePolicy accepted garbage")
+	}
+}
+
+func TestNilInjectorIsFaultFree(t *testing.T) {
+	var in *Injector
+	if out := in.Round(); out != (RoundOutcome{}) {
+		t.Fatalf("nil Round() = %+v", out)
+	}
+	if out := in.Window(100, 5); out != (WindowOutcome{}) {
+		t.Fatalf("nil Window() = %+v", out)
+	}
+	if tot := in.Totals(); tot != (Totals{}) {
+		t.Fatalf("nil Totals() = %+v", tot)
+	}
+}
+
+// drive runs a fixed schedule of windows and rounds through an injector
+// and returns the accumulated totals.
+func drive(cfg Config, seed int64, windows, d int) Totals {
+	in := NewInjector(cfg, seed)
+	for w := 0; w < windows; w++ {
+		for r := 0; r < d; r++ {
+			in.Round()
+		}
+		in.Window(1000, d)
+	}
+	return in.Totals()
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{
+		StallProb: 0.3, StallFactor: 4,
+		BufferRounds: 8, Policy: PolicyDropOldest,
+		LinkErrorProb: 0.05, LinkRetries: 3,
+	}
+	a := drive(cfg, 42, 200, 5)
+	b := drive(cfg, 42, 200, 5)
+	if a != b {
+		t.Fatalf("same seed, different schedules:\n%+v\n%+v", a, b)
+	}
+	c := drive(cfg, 43, 200, 5)
+	if a == c {
+		t.Fatal("different seeds produced identical schedules (stream not seed-derived?)")
+	}
+}
+
+func TestStallAccounting(t *testing.T) {
+	cfg := Config{StallProb: 1, StallFactor: 3}
+	in := NewInjector(cfg, 7)
+	out := in.Window(100, 5)
+	if !out.Stalled {
+		t.Fatal("probability-1 stall did not fire")
+	}
+	if out.StallCycles != 200 {
+		t.Fatalf("stall cycles = %d, want (factor-1)*base = 200", out.StallCycles)
+	}
+	tot := in.Totals()
+	if tot.StallWindows != 1 || tot.StallCycles != 200 {
+		t.Fatalf("totals = %+v", tot)
+	}
+}
+
+func TestDropOldestOverflowSchedulesRoundDrops(t *testing.T) {
+	// Every window stalls by 2 extra windows (factor 3) with a buffer of
+	// one window: the backlog must overflow and schedule drops that the
+	// following rounds consume.
+	cfg := Config{StallProb: 1, StallFactor: 3, BufferRounds: 5, Policy: PolicyDropOldest}
+	in := NewInjector(cfg, 11)
+	d := 5
+	in.Window(100, d) // backlog 10 -> capacity 5, 5 drops scheduled
+	dropped := 0
+	for r := 0; r < d; r++ {
+		if in.Round().DropEvents {
+			dropped++
+		}
+	}
+	if dropped != d {
+		t.Fatalf("dropped %d rounds, want %d", dropped, d)
+	}
+	if tot := in.Totals(); tot.DroppedRounds != d {
+		t.Fatalf("totals = %+v, want %d dropped rounds", tot, d)
+	}
+}
+
+func TestBackpressureOverflowStallsESM(t *testing.T) {
+	cfg := Config{StallProb: 1, StallFactor: 3, BufferRounds: 5, Policy: PolicyBackpressure}
+	in := NewInjector(cfg, 11)
+	out := in.Window(100, 5)
+	if out.BackpressureRounds != 5 {
+		t.Fatalf("backpressure rounds = %d, want 5", out.BackpressureRounds)
+	}
+	if in.Round().DropEvents {
+		t.Fatal("backpressure policy must not drop rounds")
+	}
+	if tot := in.Totals(); tot.BackpressureRounds != 5 || tot.DroppedRounds != 0 {
+		t.Fatalf("totals = %+v", tot)
+	}
+}
+
+func TestBacklogDrainsOnCleanWindows(t *testing.T) {
+	// One stall followed by clean windows: the backlog must drain instead
+	// of overflowing a generous buffer.
+	cfg := Config{StallProb: 1, StallFactor: 2, BufferRounds: 100, Policy: PolicyDropOldest}
+	in := NewInjector(cfg, 3)
+	in.Window(100, 5) // backlog 5
+	in.cfg.StallProb = 0
+	for w := 0; w < 3; w++ {
+		in.Window(100, 5)
+	}
+	if in.backlog != 0 {
+		t.Fatalf("backlog = %d after clean windows, want 0", in.backlog)
+	}
+}
+
+func TestLinkRetransmitBackoffIsExponential(t *testing.T) {
+	// Probability-1 corruption with a bounded retry budget: every round
+	// exhausts its retries (1+2+4 cycles of backoff) and is lost.
+	cfg := Config{LinkErrorProb: 1, LinkRetries: 3}
+	in := NewInjector(cfg, 5)
+	out := in.Round()
+	if out.Retransmits != 3 {
+		t.Fatalf("retransmits = %d, want 3", out.Retransmits)
+	}
+	if out.BackoffCycles != 1+2+4 {
+		t.Fatalf("backoff = %d, want 7", out.BackoffCycles)
+	}
+	if !out.DropEvents {
+		t.Fatal("exhausted retries must lose the round")
+	}
+}
+
+func TestLinkRecoveryWithinBudgetKeepsRound(t *testing.T) {
+	// A moderate corruption rate with a deep retry budget: most corrupted
+	// rounds must recover (retransmits recorded, round kept).
+	cfg := Config{LinkErrorProb: 0.2, LinkRetries: 10}
+	in := NewInjector(cfg, 9)
+	kept, retrans := 0, 0
+	for r := 0; r < 2000; r++ {
+		out := in.Round()
+		retrans += out.Retransmits
+		if out.Retransmits > 0 && !out.DropEvents {
+			kept++
+		}
+	}
+	if retrans == 0 {
+		t.Fatal("no retransmissions at 20% corruption")
+	}
+	if kept == 0 {
+		t.Fatal("no corrupted round recovered despite a 10-retry budget")
+	}
+	if tot := in.Totals(); tot.DroppedRounds > retrans/10 {
+		t.Fatalf("too many lost rounds for the budget: %+v", tot)
+	}
+}
+
+func TestTotalsAdd(t *testing.T) {
+	a := Totals{StallCycles: 1, StallWindows: 2, DroppedRounds: 3, BackpressureRounds: 4, Retransmits: 5, BackoffCycles: 6}
+	b := a
+	a.Add(b)
+	want := Totals{StallCycles: 2, StallWindows: 4, DroppedRounds: 6, BackpressureRounds: 8, Retransmits: 10, BackoffCycles: 12}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+}

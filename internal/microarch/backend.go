@@ -77,6 +77,12 @@ type Backend struct {
 	// mid-merge re-baselines instead of firing a stale event.
 	condWasActive map[int][]bool
 
+	// dropNextRound marks the next syndrome round's detection events as
+	// lost to a fault (buffer overflow or cross-temperature link loss):
+	// the syndrome state still advances, but the events never reach the
+	// EDU, so the errors they witnessed stay uncorrected.
+	dropNextRound bool
+
 	// stats
 	RoundsRun      int
 	LogicalRejects int // decode windows leaving residual logical flips (diagnostic)
@@ -368,6 +374,14 @@ func (b *Backend) InjectRoundNoise() {
 // accounting).
 func (b *Backend) MeasureSyndromes() int { return b.MeasureSyndromesRound(false) }
 
+// DropNextRoundEvents marks the next syndrome round as lost to a fault:
+// its measurements happen (the physical schedule is unaffected) but the
+// detection events they would contribute are discarded, exactly as if
+// the syndrome payload never reached the error decode unit. The fault
+// injector (internal/faults) uses this to model syndrome-buffer
+// drop-oldest overflow and link-retry exhaustion.
+func (b *Backend) DropNextRoundEvents() { b.dropNextRound = true }
+
 // MeasureSyndromesRound runs one syndrome round; final marks the last
 // round of a decode window, whose measurement outcomes are cross-checked
 // against the transversal data-qubit readout that follows in lattice
@@ -379,6 +393,8 @@ func (b *Backend) MeasureSyndromes() int { return b.MeasureSyndromesRound(false)
 func (b *Backend) MeasureSyndromesRound(final bool) int {
 	d := b.Code.D
 	measured := 0
+	dropped := b.dropNextRound
+	b.dropNextRound = false
 	for _, patch := range b.Layout.ActiveESMPatches() {
 		prev, ok := b.prevSyn[patch]
 		if !ok {
@@ -406,7 +422,7 @@ func (b *Backend) MeasureSyndromesRound(final bool) int {
 				continue
 			}
 			par := parityOf(st.Basis, b.stabDataIdx[si])
-			if par != prev[si] {
+			if par != prev[si] && !dropped {
 				acc[si] = !acc[si]
 			}
 			prev[si] = par
@@ -422,7 +438,7 @@ func (b *Backend) MeasureSyndromesRound(final bool) int {
 				continue
 			}
 			par := parityOf(cs.Basis, b.condDataIdx[ci])
-			if wasActive[ci] && par != prev[si] {
+			if wasActive[ci] && par != prev[si] && !dropped {
 				acc[si] = !acc[si]
 			}
 			prev[si] = par

@@ -1,9 +1,11 @@
 package microarch
 
 import (
+	"context"
 	"fmt"
 
 	"xqsim/internal/decoder"
+	"xqsim/internal/faults"
 	"xqsim/internal/ftqc"
 	"xqsim/internal/isa"
 	"xqsim/internal/pauli"
@@ -67,6 +69,11 @@ type Metrics struct {
 	// (peak instruction-bandwidth accounting).
 	MaxActivePhys int
 
+	// Faults is the fault-injection accounting (stall cycles, dropped
+	// rounds, retransmits, ...); all-zero unless Config.Faults enables
+	// injection.
+	Faults faults.Totals
+
 	// MregFile is the measurement register file after the run.
 	MregFile map[uint16]bool
 }
@@ -103,6 +110,12 @@ type Config struct {
 	StepsPerRound int
 
 	T1QNs, T2QNs, TMeasNs float64
+
+	// Faults configures deterministic fault injection (decoder stalls,
+	// syndrome-buffer overflow, cross-temperature link corruption); the
+	// zero value injects nothing. The injector's schedule derives from
+	// Seed, so a (Seed, Faults) pair reproduces a run bit-for-bit.
+	Faults faults.Config
 }
 
 // Pipeline executes QISA programs on the full microarchitecture.
@@ -126,6 +139,10 @@ type Pipeline struct {
 	// Optional per-instruction trace (EnableTrace).
 	traceOn bool
 	trace   []TraceEvent
+
+	// inj is the fault-injection scheduler (nil when Cfg.Faults injects
+	// nothing; all its methods are nil-safe).
+	inj *faults.Injector
 }
 
 type mergeResult struct {
@@ -148,6 +165,7 @@ func NewPipeline(layout *surface.PPRLayout, cfg Config) *Pipeline {
 		nLQ:           layout.NLQ + 2,
 		byproduct:     pauli.NewProduct(layout.NLQ + 2),
 		pendingRegion: make(map[int]bool),
+		inj:           faults.NewInjector(cfg.Faults, cfg.Seed),
 	}
 	p.M.MregFile = make(map[uint16]bool)
 	return p
@@ -184,7 +202,20 @@ func (p *Pipeline) psuStep(nPhys int) {
 
 // Run executes the program to completion.
 func (p *Pipeline) Run(prog isa.Program) error {
+	return p.RunCtx(context.Background(), prog)
+}
+
+// RunCtx executes the program to completion, checking ctx between
+// instructions so a canceled run returns promptly with ctx's error. The
+// fault-injection totals accumulated so far are copied into Metrics on
+// every exit path (including errors), so partially-run programs still
+// report their degradation accounting.
+func (p *Pipeline) RunCtx(ctx context.Context, prog isa.Program) error {
+	defer func() { p.M.Faults = p.inj.Totals() }()
 	for i := 0; i < len(prog); {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		in := prog[i]
 		p.M.Instructions++
 		p.M.Unit[UnitQID].Ops++
@@ -412,8 +443,17 @@ func (p *Pipeline) execRunESM() {
 			p.M.transfer(UnitTCU, UnitQCI, uint64(idle*p.Cfg.CwdBits*p.Cfg.StepsPerRound))
 		}
 		p.B.InjectRoundNoise()
+		// Fault injection: a corrupted cross-temperature transfer costs
+		// retransmissions (repeat syndrome payloads plus backoff cycles on
+		// the EDU's receive side); an unrecoverable round loses its
+		// detection events, as does a round scheduled for an overflow drop.
+		ro := p.inj.Round()
+		if ro.DropEvents {
+			p.B.DropNextRoundEvents()
+		}
 		anc := p.B.MeasureSyndromesRound(r == d-1)
-		p.M.transfer(UnitQCI, UnitEDU, uint64(anc))
+		p.M.transfer(UnitQCI, UnitEDU, uint64(anc)*uint64(1+ro.Retransmits))
+		p.M.Unit[UnitEDU].ActiveCycles += ro.BackoffCycles
 		p.M.ESMRounds++
 		p.M.ESMTimeNs += p.roundNs()
 		p.M.VirtualNs += p.roundNs()
@@ -429,7 +469,17 @@ func (p *Pipeline) execRunESM() {
 		p.M.MatchesSum++
 		p.M.MatchStepsSum += m.Steps
 	}
-	cycles := p.decodeCycles(wd)
+	cycles := DecodeWindowCycles(p.Cfg.Scheme, p.Cfg.D, wd)
+	// Fault injection: a decoder stall spike multiplies the window's
+	// decode latency and backs syndromes up in the buffer; an overflow
+	// under backpressure idles the data qubits (extra decoherence rounds
+	// with no syndrome extraction) until the decoder catches up.
+	wo := p.inj.Window(cycles, d)
+	cycles += wo.StallCycles
+	for i := 0; i < wo.BackpressureRounds; i++ {
+		p.B.InjectRoundNoise()
+		p.M.VirtualNs += p.roundNs()
+	}
 	p.M.DecodeWindows++
 	p.M.DecodeCyclesSum += cycles
 	if cycles > p.M.DecodeCyclesMax {
@@ -460,7 +510,7 @@ func (p *Pipeline) execRunESM() {
 // and reflect before committing a match (4*(d+1) cell hops).
 func SpikeWaitCycles(d int) int { return 4 * (d + 1) }
 
-// decodeCycles costs one window decode under the configured scheme:
+// DecodeWindowCycles costs one window decode under the given scheme:
 //
 //   - round-robin (baseline, Fig. 15a): the shared token circulates
 //     through every active cell once per ESM round of the window, plus
@@ -470,8 +520,12 @@ func SpikeWaitCycles(d int) int { return 4 * (d + 1) }
 //     plus the spike window;
 //   - patch-sliding (Optimization #4, Fig. 20): priority latency plus one
 //     pipeline-fill cycle per window slide.
-func (p *Pipeline) decodeCycles(wd WindowDecode) uint64 {
-	wait := SpikeWaitCycles(p.Cfg.D)
+//
+// It is exported so the memory experiment (core.LogicalErrorRateFaults)
+// can feed the same fault-free decode cost into a faults.Injector that
+// the full pipeline would.
+func DecodeWindowCycles(scheme decoder.Scheme, d int, wd WindowDecode) uint64 {
+	wait := SpikeWaitCycles(d)
 	spikes := func(ms []decoder.Match) int {
 		total := 0
 		for _, m := range ms {
@@ -482,9 +536,9 @@ func (p *Pipeline) decodeCycles(wd WindowDecode) uint64 {
 	perBasis := func(ms []decoder.Match) int {
 		return len(ms) + spikes(ms)
 	}
-	switch p.Cfg.Scheme {
+	switch scheme {
 	case decoder.SchemeRoundRobin:
-		return uint64(p.Cfg.D*wd.ActiveCells + spikes(wd.Matches()))
+		return uint64(d*wd.ActiveCells + spikes(wd.Matches()))
 	case decoder.SchemePriority:
 		z, x := perBasis(wd.MatchesZ), perBasis(wd.MatchesX)
 		if z > x {

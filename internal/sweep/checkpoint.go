@@ -1,0 +1,108 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint is a resumable snapshot of a multi-experiment sweep: the
+// results of every completed experiment, keyed by experiment ID. xqsweep
+// saves one after each experiment and, with -resume, skips the cells a
+// previous (killed or canceled) run already completed. Experiments are
+// deterministic in (ID, seed, shots), so resuming reproduces exactly the
+// grid a single uninterrupted run would have produced.
+type Checkpoint struct {
+	// Version guards the on-disk format.
+	Version int `json:"version"`
+	// Seed and Shots record the grid parameters the snapshot was taken
+	// under; a resume with different parameters must start over, not mix
+	// cells from incompatible runs.
+	Seed  int64 `json:"seed"`
+	Shots int   `json:"shots"`
+	// Results holds the completed experiments keyed by Result.ID.
+	Results map[string]Result `json:"results"`
+}
+
+// checkpointVersion is bumped whenever the snapshot format changes.
+const checkpointVersion = 1
+
+// NewCheckpoint starts an empty snapshot for the given grid parameters.
+func NewCheckpoint(seed int64, shots int) *Checkpoint {
+	return &Checkpoint{
+		Version: checkpointVersion,
+		Seed:    seed,
+		Shots:   shots,
+		Results: map[string]Result{},
+	}
+}
+
+// LoadCheckpoint reads a snapshot from disk. A missing file is not an
+// error: it returns (nil, nil) so callers can treat it as "start fresh".
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweep: read checkpoint: %w", err)
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("sweep: parse checkpoint %s: %w", path, err)
+	}
+	if c.Version != checkpointVersion {
+		return nil, fmt.Errorf("sweep: checkpoint %s has version %d, want %d", path, c.Version, checkpointVersion)
+	}
+	if c.Results == nil {
+		c.Results = map[string]Result{}
+	}
+	return &c, nil
+}
+
+// Compatible reports whether the snapshot was taken under the same grid
+// parameters, i.e. whether its completed cells can be reused.
+func (c *Checkpoint) Compatible(seed int64, shots int) bool {
+	return c != nil && c.Seed == seed && c.Shots == shots
+}
+
+// Has reports whether the experiment with the given ID is already done.
+func (c *Checkpoint) Has(id string) bool {
+	if c == nil {
+		return false
+	}
+	_, ok := c.Results[id]
+	return ok
+}
+
+// Put records a completed experiment.
+func (c *Checkpoint) Put(r Result) { c.Results[r.ID] = r }
+
+// Save writes the snapshot atomically (temp file + rename in the target
+// directory), so a kill mid-write leaves the previous snapshot intact.
+func (c *Checkpoint) Save(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sweep: encode checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*.json")
+	if err != nil {
+		return fmt.Errorf("sweep: create checkpoint temp: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name()) // best-effort cleanup; the write error is the one to report
+		if werr != nil {
+			return fmt.Errorf("sweep: write checkpoint: %w", werr)
+		}
+		return fmt.Errorf("sweep: close checkpoint temp: %w", cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name()) // best-effort cleanup; the rename error is the one to report
+		return fmt.Errorf("sweep: commit checkpoint: %w", err)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -13,16 +14,23 @@ import (
 // sweep grids use it to evaluate design points concurrently: every point
 // is a pure function of (index, measured rates), so parallel execution is
 // observationally identical to the serial loop.
-func parallelFor(n int, fn func(i int)) {
+//
+// Canceling ctx stops workers from claiming new indices; indices already
+// claimed run to completion, and the context's error is returned so the
+// caller can abandon the partially filled grid.
+func parallelFor(ctx context.Context, n int, fn func(i int)) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -30,7 +38,7 @@ func parallelFor(n int, fn func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -40,4 +48,5 @@ func parallelFor(n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"reflect"
 	"sync/atomic"
 	"testing"
@@ -9,7 +10,9 @@ import (
 func TestParallelForCoversEveryIndexOnce(t *testing.T) {
 	for _, n := range []int{0, 1, 7, 100} {
 		hits := make([]atomic.Int32, n)
-		parallelFor(n, func(i int) { hits[i].Add(1) })
+		if err := parallelFor(context.Background(), n, func(i int) { hits[i].Add(1) }); err != nil {
+			t.Fatal(err)
+		}
 		for i := range hits {
 			if got := hits[i].Load(); got != 1 {
 				t.Fatalf("n=%d: index %d ran %d times", n, i, got)
@@ -28,15 +31,19 @@ func TestParallelSweepDeterministic(t *testing.T) {
 	}
 	for _, tc := range []struct {
 		name string
-		run  func() Result
+		run  func() (Result, error)
 	}{
-		{"fig5", func() Result { return Fig5(71) }},
-		{"fig14", func() Result { return Fig14(71) }},
-		{"fig17", func() Result { return Fig17(71) }},
-		{"fig19", func() Result { return Fig19(71) }},
-		{"threshold", func() Result { return ThresholdStudy(60, 71) }},
+		{"fig5", func() (Result, error) { return Fig5(context.Background(), 71) }},
+		{"fig14", func() (Result, error) { return Fig14(context.Background(), 71) }},
+		{"fig17", func() (Result, error) { return Fig17(context.Background(), 71) }},
+		{"fig19", func() (Result, error) { return Fig19(context.Background(), 71) }},
+		{"threshold", func() (Result, error) { return ThresholdStudy(context.Background(), 60, 71) }},
 	} {
-		a, b := tc.run(), tc.run()
+		a, errA := tc.run()
+		b, errB := tc.run()
+		if errA != nil || errB != nil {
+			t.Fatalf("%s: %v / %v", tc.name, errA, errB)
+		}
 		if !reflect.DeepEqual(a, b) {
 			t.Errorf("%s: identically-seeded parallel runs differ:\n%v\nvs\n%v", tc.name, a, b)
 		}

@@ -5,6 +5,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -83,7 +84,7 @@ func qubitGrid(max int) []int {
 // Fig5 reproduces the Section 2.3 constraint analysis: the success rate
 // of a d=7 random-PPR workload on the current 300 K CMOS system versus
 // qubit scale, with the three constraint red lines.
-func Fig5(seed int64) Result {
+func Fig5(ctx context.Context, seed int64) (Result, error) {
 	d := 7
 	r := core.MeasureRates(d, config.PhysErrorRate, decoder.SchemeRoundRobin, seed)
 	sys := core.CurrentSystem(d, false)
@@ -98,7 +99,7 @@ func Fig5(seed int64) Result {
 	bw := gridSeries("inst-bandwidth-gbps", len(grid))
 	lat := gridSeries("decode-latency-ns", len(grid))
 	heat := gridSeries("cross-heat-w", len(grid))
-	parallelFor(len(grid), func(i int) {
+	if err := parallelFor(ctx, len(grid), func(i int) {
 		n := grid[i]
 		rep := sys.Evaluate(n, r)
 		x := float64(n)
@@ -106,12 +107,14 @@ func Fig5(seed int64) Result {
 		bw.X[i], bw.Y[i] = x, rep.InstBandwidthGbps
 		lat.X[i], lat.Y[i] = x, rep.DecodeLatencyNs
 		heat.X[i], heat.Y[i] = x, rep.CrossHeatW
-	})
+	}); err != nil {
+		return Result{}, err
+	}
 	res.Series = []Series{succ, bw, lat, heat}
 	res.Anchors["bandwidth red line (Gbps)"] = [2]float64{480, config.MaxCrossBandwidthGbps()}
 	res.Anchors["decode red line (ns)"] = [2]float64{1010, config.DecodeBudgetNs()}
 	res.Anchors["transfer red line (W)"] = [2]float64{1.5, config.Power4KBudgetW}
-	return res
+	return res, nil
 }
 
 // Fig10 reproduces the XQ-estimator frequency validation against the
@@ -155,7 +158,7 @@ func Fig12() Result {
 
 // Fig14 reproduces the current-system scalability: decode-latency and
 // transfer limits with and without Optimization #1.
-func Fig14(seed int64) Result {
+func Fig14(ctx context.Context, seed int64) (Result, error) {
 	d := config.CodeDistance
 	rRR := core.MeasureRates(d, config.PhysErrorRate, decoder.SchemeRoundRobin, seed)
 	rPr := core.MeasureRates(d, config.PhysErrorRate, decoder.SchemePriority, seed)
@@ -173,24 +176,29 @@ func Fig14(seed int64) Result {
 	latB := gridSeries("decode-ns-baseline", len(grid))
 	latO := gridSeries("decode-ns-opt1", len(grid))
 	heat := gridSeries("cross-heat-w", len(grid))
-	parallelFor(len(grid), func(i int) {
+	if err := parallelFor(ctx, len(grid), func(i int) {
 		n := grid[i]
 		x := float64(n)
 		repB := base.Evaluate(n, rRR)
 		latB.X[i], latB.Y[i] = x, repB.DecodeLatencyNs
 		latO.X[i], latO.Y[i] = x, opt.Evaluate(n, rPr).DecodeLatencyNs
 		heat.X[i], heat.Y[i] = x, repB.CrossHeatW
-	})
+	}); err != nil {
+		return Result{}, err
+	}
 	res.Series = []Series{latB, latO, heat}
 	res.Anchors["decode limit baseline"] = [2]float64{250, float64(base.ConstraintLimit(rRR, decodeOK))}
 	res.Anchors["decode limit with Opt#1"] = [2]float64{9800, float64(opt.ConstraintLimit(rPr, decodeOK))}
 	res.Anchors["300K-4K transfer limit"] = [2]float64{1700, float64(base.ConstraintLimit(rRR, transferOK))}
-	return res
+	return res, nil
 }
 
 // Fig16 reproduces the unit-level breakdowns motivating Guideline #1:
 // inter-unit data transfer shares and the RSFQ power shares.
-func Fig16(seed int64) Result {
+func Fig16(ctx context.Context, seed int64) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	d := config.CodeDistance
 	res := Result{
 		ID:      "fig16",
@@ -201,7 +209,7 @@ func Fig16(seed int64) Result {
 	m, err := core.RunScalingWorkload(d, config.PhysErrorRate, decoder.SchemePriority, seed)
 	if err != nil {
 		res.Notes = append(res.Notes, "scaling workload failed: "+err.Error())
-		return res
+		return res, nil
 	}
 	var total, psutcu uint64
 	for u := microarch.UnitQID; u <= microarch.UnitLMU; u++ {
@@ -229,11 +237,11 @@ func Fig16(seed int64) Result {
 	res.Anchors["other units RSFQ power share (%)"] = [2]float64{65.4, 100 * (totW - psuTcuW) / totW}
 	res.Notes = append(res.Notes,
 		"power split deviates from the paper (~58/42 vs 33/67): our PSU/TCU sizing is pinned by the Fig.17 970-qubit anchor and our EDU by the Fig.19 anchors, leaving less freedom for the Fig.16 share; the qualitative conclusion (moving non-PSU/TCU units to 4K roughly triples 4K power) is preserved")
-	return res
+	return res, nil
 }
 
 // Fig17 reproduces the near-future scalability for RSFQ and 4 K CMOS.
-func Fig17(seed int64) Result {
+func Fig17(ctx context.Context, seed int64) (Result, error) {
 	d := config.CodeDistance
 	r := core.MeasureRates(d, config.PhysErrorRate, decoder.SchemePriority, seed)
 	powerOK := func(rep core.Report) bool { return rep.PowerOK }
@@ -249,20 +257,22 @@ func Fig17(seed int64) Result {
 	po := gridSeries("rsfq-opt-4k-power-w", len(grid))
 	cr := gridSeries("cmos-4k-power-w", len(grid))
 	co := gridSeries("cmos-vs-4k-power-w", len(grid))
-	parallelFor(len(grid), func(i int) {
+	if err := parallelFor(ctx, len(grid), func(i int) {
 		n := grid[i]
 		x := float64(n)
 		pr.X[i], pr.Y[i] = x, rsfqB.Evaluate(n, r).Power4KW
 		po.X[i], po.Y[i] = x, rsfqO.Evaluate(n, r).Power4KW
 		cr.X[i], cr.Y[i] = x, cmosB.Evaluate(n, r).Power4KW
 		co.X[i], co.Y[i] = x, cmosO.Evaluate(n, r).Power4KW
-	})
+	}); err != nil {
+		return Result{}, err
+	}
 	res.Series = []Series{pr, po, cr, co}
 	res.Anchors["RSFQ power limit (baseline)"] = [2]float64{970, float64(rsfqB.ConstraintLimit(r, powerOK))}
 	res.Anchors["RSFQ limit with Opts #2,#3"] = [2]float64{4600, float64(rsfqO.ConstraintLimit(r, powerOK))}
 	res.Anchors["4K CMOS power limit (baseline)"] = [2]float64{1400, float64(cmosB.ConstraintLimit(r, powerOK))}
 	res.Anchors["4K CMOS overall with voltage scaling"] = [2]float64{9800, float64(cmosO.MaxQubits(r))}
-	return res
+	return res, nil
 }
 
 // Fig18 reproduces the microarchitecture-optimization power factors.
@@ -293,7 +303,7 @@ func Fig18() Result {
 }
 
 // Fig19 reproduces the future-system scalability.
-func Fig19(seed int64) Result {
+func Fig19(ctx context.Context, seed int64) (Result, error) {
 	d := config.CodeDistance
 	rPr := core.MeasureRates(d, config.PhysErrorRate, decoder.SchemePriority, seed)
 	rPS := core.MeasureRates(d, config.PhysErrorRate, decoder.SchemePatchSliding, seed)
@@ -313,13 +323,15 @@ func Fig19(seed int64) Result {
 	pw := gridSeries("power-w-base", len(grid))
 	pe := gridSeries("power-w-edu4k", len(grid))
 	pf := gridSeries("power-w-final", len(grid))
-	parallelFor(len(grid), func(i int) {
+	if err := parallelFor(ctx, len(grid), func(i int) {
 		n := grid[i]
 		x := float64(n)
 		pw.X[i], pw.Y[i] = x, base.Evaluate(n, rPr).Power4KW
 		pe.X[i], pe.Y[i] = x, edu4k.Evaluate(n, rPr).Power4KW
 		pf.X[i], pf.Y[i] = x, final.Evaluate(n, rPS).Power4KW
-	})
+	}); err != nil {
+		return Result{}, err
+	}
 	res.Series = []Series{pw, pe, pf}
 	res.Anchors["ERSFQ power limit (EDU at 300K)"] = [2]float64{102000, float64(base.ConstraintLimit(rPr, powerOK))}
 	res.Anchors["decode limit (EDU at 300K)"] = [2]float64{9800, float64(base.ConstraintLimit(rPr, decodeOK))}
@@ -335,7 +347,7 @@ func Fig19(seed int64) Result {
 	psuTcu := core.FutureSystem(d, false, false).Evaluate(scale, rPr).Power4KW
 	res.Anchors["Opt#4 EDU power reduction (x)"] = [2]float64{18.8,
 		(eB.Power4KW - psuTcu) / (eP.Power4KW - psuTcu)}
-	return res
+	return res, nil
 }
 
 // Table3Row is one functional-validation benchmark.
@@ -357,7 +369,7 @@ type Table3Row struct {
 //
 // Per DESIGN.md, the pi/8 benchmarks run under the stabilizer
 // substitution (pi/8 -> pi/4) on both sides of the comparison.
-func Table3(shots int, seed int64) ([]Table3Row, error) {
+func Table3(ctx context.Context, shots int, seed int64) ([]Table3Row, error) {
 	cases := []struct {
 		name  string
 		circ  compiler.Circuit
@@ -372,7 +384,7 @@ func Table3(shots int, seed int64) ([]Table3Row, error) {
 	}
 	var rows []Table3Row
 	for i, c := range cases {
-		dtv, _, _, err := core.ValidateCircuit(c.circ, c.d, config.PhysErrorRate, shots, seed+int64(i)*7919)
+		dtv, _, _, err := core.ValidateCircuit(ctx, c.circ, c.d, config.PhysErrorRate, shots, seed+int64(i)*7919)
 		if err != nil {
 			return nil, err
 		}
@@ -391,8 +403,8 @@ func Table3(shots int, seed int64) ([]Table3Row, error) {
 }
 
 // Table3Result wraps the rows as a Result for uniform reporting.
-func Table3Result(shots int, seed int64) (Result, error) {
-	rows, err := Table3(shots, seed)
+func Table3Result(ctx context.Context, shots int, seed int64) (Result, error) {
+	rows, err := Table3(ctx, shots, seed)
 	if err != nil {
 		return Result{}, err
 	}
@@ -435,7 +447,7 @@ func Table4() Result {
 // architects expect to improve — the 4 K cooling budget and the physical
 // error rate. Each point re-evaluates the full engine with an overridden
 // Budget.
-func Sensitivity(seed int64) Result {
+func Sensitivity(ctx context.Context, seed int64) (Result, error) {
 	d := config.CodeDistance
 	r := core.MeasureRates(d, config.PhysErrorRate, decoder.SchemePatchSliding, seed)
 	res := Result{
@@ -447,6 +459,9 @@ func Sensitivity(seed int64) Result {
 	var power Series
 	power.Name = "max-qubits-vs-4K-budget-W"
 	for _, w := range []float64{0.75, 1.0, 1.5, 3.0, 6.0, 12.0} {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		sys := core.FutureSystem(d, true, true)
 		b := core.DefaultBudget()
 		b.Power4KW = w
@@ -465,14 +480,14 @@ func Sensitivity(seed int64) Result {
 	res.Anchors["scale at a 6W future refrigerator"] = [2]float64{0, float64(big.MaxQubits(r))}
 	res.Notes = append(res.Notes,
 		"the paper gives no numbers for Section 6.2; the 6W row demonstrates the parameter-override capability")
-	return res
+	return res, nil
 }
 
 // AblationMaskSharing sweeps Optimization #2's sharing degree: PSU power
 // per qubit and the resulting near-future RSFQ scaling limit versus
 // qubits-per-mask-generator. The paper picks 14x (112 qubits per
 // generator); the sweep shows the knee.
-func AblationMaskSharing(seed int64) Result {
+func AblationMaskSharing(ctx context.Context, seed int64) (Result, error) {
 	d := config.CodeDistance
 	r := core.MeasureRates(d, config.PhysErrorRate, decoder.SchemePriority, seed)
 	res := Result{
@@ -485,6 +500,9 @@ func AblationMaskSharing(seed int64) Result {
 	scale := estimator.ScaleFor(20000, d)
 	powerOK := func(rep core.Report) bool { return rep.PowerOK }
 	for _, share := range []int{1, 2, 4, 8, 14, 20, 28} {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		opts := estimator.DefaultOptions(d)
 		opts.PSU = synth.PSUOptions{QubitsPerMaskGen: 8 * share}
 		opts.TCU = synth.TCUOptions{SimpleBuffer: true}
@@ -499,14 +517,14 @@ func AblationMaskSharing(seed int64) Result {
 	}
 	res.Series = []Series{power, limit}
 	res.Anchors["limit at the paper's 14x point"] = [2]float64{4600, limit.Y[4]}
-	return res
+	return res, nil
 }
 
 // AblationCodeDistance sweeps the code distance: the final ERSFQ design's
 // sustainable physical scale and the logical-qubit capacity it buys.
 // Larger d costs 2*(d+1)^2 physical qubits per patch and heavier decoding
 // but suppresses logical errors; the paper fixes d=15 (Table 4).
-func AblationCodeDistance(seed int64) Result {
+func AblationCodeDistance(ctx context.Context, seed int64) (Result, error) {
 	res := Result{
 		ID:      "ablation-distance",
 		Title:   "code-distance ablation for the final design",
@@ -517,17 +535,19 @@ func AblationCodeDistance(seed int64) Result {
 	logical := gridSeries("logical-qubit-capacity", len(ds))
 	// Each distance needs its own full-pipeline rate measurement — the
 	// dominant cost of this sweep — so the points run concurrently.
-	parallelFor(len(ds), func(i int) {
+	if err := parallelFor(ctx, len(ds), func(i int) {
 		d := ds[i]
 		r := core.MeasureRates(d, config.PhysErrorRate, decoder.SchemePatchSliding, seed)
 		sys := core.FutureSystem(d, true, true)
 		n := sys.MaxQubits(r)
 		phys.X[i], phys.Y[i] = float64(d), float64(n)
 		logical.X[i], logical.Y[i] = float64(d), float64(estimator.ScaleFor(n, d).NLQ)
-	})
+	}); err != nil {
+		return Result{}, err
+	}
 	res.Series = []Series{phys, logical}
 	res.Anchors["physical scale at d=15"] = [2]float64{59000, phys.Y[3]}
-	return res
+	return res, nil
 }
 
 // AblationCodewordWidth sweeps the per-qubit codeword width: the 300K-4K
@@ -558,7 +578,7 @@ func AblationCodewordWidth() Result {
 // backend + decoder loop. Below threshold larger distances must win;
 // the crossing locates the decoder's effective threshold (the
 // phenomenological nearest-pair threshold sits near ~3%).
-func ThresholdStudy(trials int, seed int64) Result {
+func ThresholdStudy(ctx context.Context, trials int, seed int64) (Result, error) {
 	res := Result{
 		ID:      "threshold",
 		Title:   "surface-code memory threshold under the EDU decoder",
@@ -568,7 +588,10 @@ func ThresholdStudy(trials int, seed int64) Result {
 	for _, d := range []int{3, 5, 7} {
 		s := Series{Name: fmt.Sprintf("logical-error-rate-d%d", d)}
 		for _, p := range ps {
-			rate := core.LogicalErrorRate(d, p, 3, trials, seed)
+			rate, err := core.LogicalErrorRate(ctx, d, p, 3, trials, seed)
+			if err != nil {
+				return Result{}, err
+			}
 			s.X = append(s.X, p)
 			s.Y = append(s.Y, rate)
 		}
@@ -582,7 +605,7 @@ func ThresholdStudy(trials int, seed int64) Result {
 	res.Notes = append(res.Notes,
 		"no paper counterpart: validates the in-repo decoder+backend loop (phenomenological noise)",
 		"the window-parity decode accumulates d rounds of data errors before matching, so the d=3/d=7 curves cross near p~0.5%; the study's operating point p=0.1% (Table 4) sits 5x below it")
-	return res
+	return res, nil
 }
 
 func safeRatio(a, b float64) float64 {

@@ -1,9 +1,22 @@
 package sweep
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
+
+// must adapts a driver's (Result, error) return for tests: the closure
+// fails the test on error and hands back the result.
+func must(t *testing.T) func(Result, error) Result {
+	return func(r Result, err error) Result {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+}
 
 // checkAnchor asserts one anchor lies within tol of the paper value.
 func checkAnchor(t *testing.T, r Result, key string, tol float64) {
@@ -24,7 +37,7 @@ func checkAnchor(t *testing.T, r Result, key string, tol float64) {
 }
 
 func TestFig5(t *testing.T) {
-	r := Fig5(1)
+	r := must(t)(Fig5(context.Background(), 1))
 	if len(r.Series) != 4 {
 		t.Fatalf("series = %d", len(r.Series))
 	}
@@ -62,7 +75,7 @@ func TestFig12(t *testing.T) {
 }
 
 func TestFig14(t *testing.T) {
-	r := Fig14(1)
+	r := must(t)(Fig14(context.Background(), 1))
 	checkAnchor(t, r, "decode limit baseline", 0.35)
 	checkAnchor(t, r, "decode limit with Opt#1", 0.30)
 	checkAnchor(t, r, "300K-4K transfer limit", 0.15)
@@ -76,7 +89,7 @@ func TestFig14(t *testing.T) {
 }
 
 func TestFig16(t *testing.T) {
-	r := Fig16(1)
+	r := must(t)(Fig16(context.Background(), 1))
 	v := r.Anchors["PSU+TCU transfer share (%)"]
 	if v[1] < 90 {
 		t.Errorf("PSU+TCU transfer share = %.1f%%, want > 90%%", v[1])
@@ -88,7 +101,7 @@ func TestFig16(t *testing.T) {
 }
 
 func TestFig17(t *testing.T) {
-	r := Fig17(1)
+	r := must(t)(Fig17(context.Background(), 1))
 	checkAnchor(t, r, "RSFQ power limit (baseline)", 0.15)
 	checkAnchor(t, r, "RSFQ limit with Opts #2,#3", 0.25)
 	checkAnchor(t, r, "4K CMOS power limit (baseline)", 0.15)
@@ -103,7 +116,7 @@ func TestFig18(t *testing.T) {
 }
 
 func TestFig19(t *testing.T) {
-	r := Fig19(1)
+	r := must(t)(Fig19(context.Background(), 1))
 	checkAnchor(t, r, "ERSFQ power limit (EDU at 300K)", 0.15)
 	checkAnchor(t, r, "power limit with ERSFQ EDU", 0.15)
 	checkAnchor(t, r, "decode limit with ERSFQ EDU", 0.20)
@@ -115,7 +128,7 @@ func TestTable3SmallShots(t *testing.T) {
 	if testing.Short() {
 		t.Skip("functional validation is slow")
 	}
-	rows, err := Table3(120, 3)
+	rows, err := Table3(context.Background(), 120, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +163,7 @@ func TestTable4(t *testing.T) {
 }
 
 func TestSensitivity(t *testing.T) {
-	r := Sensitivity(1)
+	r := must(t)(Sensitivity(context.Background(), 1))
 	if len(r.Series) != 1 {
 		t.Fatal("series missing")
 	}
@@ -169,7 +182,7 @@ func TestSensitivity(t *testing.T) {
 }
 
 func TestAblationMaskSharing(t *testing.T) {
-	r := AblationMaskSharing(1)
+	r := must(t)(AblationMaskSharing(context.Background(), 1))
 	power := r.Series[0]
 	// PSU power per qubit must fall monotonically with sharing.
 	for i := 1; i < len(power.Y); i++ {
@@ -184,7 +197,7 @@ func TestAblationCodeDistance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("distance ablation reruns the pipeline per d")
 	}
-	r := AblationCodeDistance(1)
+	r := must(t)(AblationCodeDistance(context.Background(), 1))
 	phys := r.Series[0]
 	if len(phys.Y) != 5 {
 		t.Fatalf("points = %d", len(phys.Y))
@@ -226,7 +239,7 @@ func TestThresholdStudy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("threshold study samples many memory runs")
 	}
-	r := ThresholdStudy(300, 5)
+	r := must(t)(ThresholdStudy(context.Background(), 300, 5))
 	if len(r.Series) != 3 {
 		t.Fatalf("series = %d", len(r.Series))
 	}
