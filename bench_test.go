@@ -294,3 +294,19 @@ func BenchmarkThresholdStudy(b *testing.B) {
 		"d=7 suppression vs d=3 at p=1% (x)": "suppression-x",
 	})
 }
+
+// BenchmarkCircuitThresholdStudy runs the circuit-level counterpart:
+// every cell compiles the gate-level memory experiment and draws its
+// shots through the bit-sliced batch frame sampler (64 per word), so
+// the whole 15-cell d<=7 grid at 2,000 shots per cell stays cheaper
+// than the 200-trial phenomenological study above.
+func BenchmarkCircuitThresholdStudy(b *testing.B) {
+	var r xqsim.ExperimentResult
+	must := mustResult(b)
+	for i := 0; i < b.N; i++ {
+		r = must(xqsim.CircuitThresholdStudy(context.Background(), 2000, 5))
+	}
+	reportAnchors(b, r, map[string]string{
+		"d=7 suppression vs d=3 at p=0.1% (x)": "suppression-x",
+	})
+}

@@ -1,0 +1,306 @@
+// Command xqbench runs the repo's tier-1 benchmark set in-process (via
+// testing.Benchmark) and emits a machine-readable JSON summary mapping
+// each benchmark name to its ns/op and allocs/op:
+//
+//	go run ./cmd/xqbench -out BENCH_5.json
+//
+// With -check it additionally compares the fresh run against a committed
+// baseline and exits 1 when any shared benchmark regressed by more than
+// -tolerance x in ns/op, so CI can gate on performance:
+//
+//	go run ./cmd/xqbench -check BENCH_5.json -tolerance 2.0
+//
+// The set covers the hot paths the bit-sliced frame sampler work
+// targets (scalar vs batch sampling, circuit-level decoding) plus the
+// established pipeline/decoder/sweep benchmarks, kept small enough to
+// finish in well under a minute.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+
+	"xqsim"
+	"xqsim/internal/core"
+	"xqsim/internal/decoder"
+	"xqsim/internal/pauli"
+	"xqsim/internal/stab"
+	"xqsim/internal/surface"
+)
+
+// Metrics is one benchmark's record in the JSON summary.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// ladderCircuit is the 100-qubit H + CX-ladder + noisy-readout circuit
+// BenchmarkFrameSamplerShot/Batch in internal/stab use; keeping the
+// shape identical makes xqbench numbers comparable to `go test -bench`.
+func ladderCircuit() *stab.Circuit {
+	c := stab.NewCircuit(100)
+	for q := 0; q < 100; q++ {
+		c.H(q)
+	}
+	for q := 0; q+1 < 100; q += 2 {
+		c.CX(q, q+1)
+	}
+	for q := 0; q < 100; q++ {
+		c.FlipX(q, 0.001)
+		c.MeasureZ(q)
+	}
+	return c
+}
+
+// benchmarks is the tier-1 set. Each function is a standard benchmark
+// body; one iteration is one unit of the named work (one shot, one
+// decode, one sweep cell).
+func benchmarks() []struct {
+	Name string
+	Fn   func(b *testing.B)
+} {
+	ctx := context.Background()
+	return []struct {
+		Name string
+		Fn   func(b *testing.B)
+	}{
+		{"frame-sampler-shot", func(b *testing.B) {
+			fs := stab.NewFrameSampler(ladderCircuit(), 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fs.Sample()
+			}
+		}},
+		{"frame-sampler-batch", func(b *testing.B) {
+			bs, err := stab.NewBatchFrameSampler(ladderCircuit(), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink := uint64(0)
+			fn := func(base, lanes int, cols []uint64) { sink ^= cols[0] }
+			b.ResetTimer()
+			for done := 0; done < b.N; {
+				n := b.N - done
+				if n > 64 {
+					n = 64
+				}
+				bs.SampleColumns(n, fn)
+				done += n
+			}
+			if sink == 42 {
+				b.Log("unreachable sink")
+			}
+		}},
+		{"frame-sampler-batch-esm", func(b *testing.B) {
+			// The production shape: the real d=5 ESM circuit, 5 noisy
+			// rounds, per-shot cost through the column API.
+			circ := surface.NewCode(5).ESMCircuit(5, 0.001, 0.002)
+			bs, err := stab.NewBatchFrameSampler(circ, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink := uint64(0)
+			fn := func(base, lanes int, cols []uint64) { sink ^= cols[0] }
+			b.ResetTimer()
+			for done := 0; done < b.N; {
+				n := b.N - done
+				if n > 64 {
+					n = 64
+				}
+				bs.SampleColumns(n, fn)
+				done += n
+			}
+			if sink == 42 {
+				b.Log("unreachable sink")
+			}
+		}},
+		{"syndrome-density-d5", func(b *testing.B) {
+			code := surface.NewCode(5)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = code.SyndromeDensity(5, 64, 0.001, 0.002, 1)
+			}
+		}},
+		{"decode-patch-d7", func(b *testing.B) {
+			code := surface.NewCode(7)
+			syn := decoder.NewSyndromeBitmap(code)
+			stabs := code.Stabilizers()
+			var cells []surface.Coord
+			for i, st := range stabs {
+				if st.Basis == pauli.Z && i%5 == 0 {
+					cells = append(cells, st.Anc)
+				}
+			}
+			var sc decoder.Scratch
+			var res decoder.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				syn.Reset()
+				for _, c := range cells {
+					syn.Set(c)
+				}
+				decoder.DecodePatchInto(code, pauli.Z, syn, &sc, &res)
+			}
+		}},
+		{"frame-memory-cell-d3", func(b *testing.B) {
+			// One circuit-level threshold cell: 256 memory shots at d=3,
+			// sampled and decoded through the batch path.
+			for i := 0; i < b.N; i++ {
+				if _, err := core.FrameLogicalErrorRate(ctx, 3, 0.01, 3, 256, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"pipeline-shot", func(b *testing.B) {
+			circ := xqsim.SinglePPR("ZZZ", xqsim.AnglePi8).SubstituteStabilizer()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := xqsim.RunShots(ctx, circ, 3, 0.001, 1, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"measure-rates-cached", func(b *testing.B) {
+			xqsim.MeasureRates(15, 0.001, xqsim.SchemePriority, 424243)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = xqsim.MeasureRates(15, 0.001, xqsim.SchemePriority, 424243)
+			}
+		}},
+		{"threshold-study", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := xqsim.ThresholdStudy(ctx, 60, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write the JSON summary to this file (default stdout)")
+		check     = flag.String("check", "", "compare against this committed baseline JSON")
+		tolerance = flag.Float64("tolerance", 2.0, "with -check: fail when ns/op exceeds baseline by this factor")
+		benchtime = flag.String("benchtime", "", "per-benchmark measurement time (testing -benchtime syntax, e.g. 200ms or 100x)")
+		only      = flag.String("only", "", "run only the benchmark with this name")
+	)
+	flag.Parse()
+
+	// testing.Benchmark reads the -test.benchtime flag; register the
+	// testing flags so a shorter budget can be injected for smoke runs.
+	testing.Init()
+	if *benchtime != "" {
+		if err := flag.CommandLine.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
+			_, _ = fmt.Fprintln(os.Stderr, "xqbench:", err)
+			os.Exit(2)
+		}
+	}
+
+	results := map[string]Metrics{}
+	for _, bm := range benchmarks() {
+		if *only != "" && bm.Name != *only {
+			continue
+		}
+		m, ok := measure(bm.Fn)
+		if !ok {
+			_, _ = fmt.Fprintf(os.Stderr, "xqbench: %s failed to run\n", bm.Name)
+			os.Exit(2)
+		}
+		results[bm.Name] = m
+		_, _ = fmt.Fprintf(os.Stderr, "%-28s %14.1f ns/op %10.0f allocs/op\n", bm.Name, m.NsPerOp, m.AllocsPerOp)
+	}
+	if len(results) == 0 {
+		_, _ = fmt.Fprintln(os.Stderr, "xqbench: no benchmarks selected")
+		os.Exit(2)
+	}
+
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		_, _ = fmt.Fprintln(os.Stderr, "xqbench:", err)
+		os.Exit(2)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		_, _ = os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		_, _ = fmt.Fprintln(os.Stderr, "xqbench:", err)
+		os.Exit(2)
+	}
+
+	if *check != "" {
+		if err := checkBaseline(*check, results, *tolerance); err != nil {
+			_, _ = fmt.Fprintln(os.Stderr, "xqbench:", err)
+			os.Exit(1)
+		}
+		_, _ = fmt.Fprintf(os.Stderr, "all benchmarks within %.1fx of %s\n", *tolerance, *check)
+	}
+}
+
+// measure runs one benchmark body under testing.Benchmark and reduces
+// the result to the JSON metrics; ok is false when the body never ran
+// (e.g. it called b.Fatal before the first iteration).
+func measure(fn func(b *testing.B)) (Metrics, bool) {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	if r.N == 0 {
+		return Metrics{}, false
+	}
+	return Metrics{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+	}, true
+}
+
+// checkBaseline fails when a benchmark present in both runs regressed
+// by more than tolerance x in ns/op, or when a baseline benchmark is
+// missing from the fresh run (a silently-dropped benchmark would make
+// the gate vacuous). Benchmarks new since the baseline only warn.
+func checkBaseline(path string, fresh map[string]Metrics, tolerance float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base map[string]Metrics
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressions []string
+	for _, name := range names {
+		b := base[name]
+		f, ok := fresh[name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: in baseline but not in this run", name))
+			continue
+		}
+		if b.NsPerOp > 0 && f.NsPerOp > tolerance*b.NsPerOp {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%.2fx > %.1fx tolerance)",
+					name, f.NsPerOp, b.NsPerOp, f.NsPerOp/b.NsPerOp, tolerance))
+		}
+	}
+	for name := range fresh {
+		if _, ok := base[name]; !ok {
+			_, _ = fmt.Fprintf(os.Stderr, "note: %s not in baseline %s (new benchmark)\n", name, path)
+		}
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			_, _ = fmt.Fprintln(os.Stderr, "regression:", r)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.1fx", len(regressions), tolerance)
+	}
+	return nil
+}

@@ -32,6 +32,7 @@ func main() {
 		fig         = flag.String("fig", "", "figure to regenerate: 5, 10, 12, 14, 16, 17, 18, 19")
 		sensitivity = flag.Bool("sensitivity", false, "run the Section-6.2 parameter sensitivity study")
 		threshold   = flag.Bool("threshold", false, "run the surface-code memory threshold study")
+		circuitThr  = flag.Bool("circuit-threshold", false, "run the circuit-level threshold study (batch frame sampler)")
 		degradation = flag.Bool("degradation", false, "run the fault-injection degradation study (logical error rate vs decoder-stall rate)")
 		table       = flag.String("table", "", "table to regenerate: 3, 4")
 		all         = flag.Bool("all", false, "regenerate everything")
@@ -102,6 +103,8 @@ func main() {
 		run("sensitivity")
 	case *threshold:
 		run("threshold")
+	case *circuitThr:
+		run("circuit-threshold")
 	case *degradation:
 		run("degradation")
 	case *fig != "":
@@ -176,6 +179,8 @@ func runExperiment(ctx context.Context, id string, shots int, seed int64) (xqsim
 		return xqsim.Sensitivity(ctx, seed)
 	case "threshold":
 		return xqsim.ThresholdStudy(ctx, 400, seed)
+	case "circuit-threshold":
+		return xqsim.CircuitThresholdStudy(ctx, 4000, seed)
 	case "degradation":
 		return xqsim.DegradationStudy(ctx, 400, seed)
 	}

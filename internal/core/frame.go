@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"xqsim/internal/decoder"
+	"xqsim/internal/pauli"
+	"xqsim/internal/stab"
+	"xqsim/internal/surface"
+)
+
+// FrameLogicalErrorRate measures the logical Z-memory error rate of a
+// distance-d patch under circuit-level noise by direct batch frame
+// sampling: the gate-level memory experiment (surface.MemoryCircuit
+// with depolarizing strength p after every two-qubit gate and readout
+// flip probability p) is compiled once, shots are drawn 64 per machine
+// word through stab.BatchFrameSampler, and each shot's final-round
+// Z-plaquette flips feed decoder.SyndromeBitmap directly from the
+// record columns — no per-shot []bool is ever materialized. A shot
+// fails when the decoder's correction does not cancel the data
+// readout's logical-Z flip.
+//
+// This is the circuit-level counterpart of LogicalErrorRate (which
+// drives the microarchitectural backend's phenomenological model).
+// Shot k of seed s is fixed by the frame sampler's determinism
+// contract, so the rate is a pure count: identical under any worker
+// scheduling, and any single shot replays via stab.FrameSampler.
+// SampleShot on the same circuit and seed.
+func FrameLogicalErrorRate(ctx context.Context, d int, p float64, rounds, shots int, seed int64) (float64, error) {
+	if d < 3 || d%2 == 0 {
+		return 0, fmt.Errorf("core: frame logical error rate: invalid code distance %d", d)
+	}
+	if rounds < 1 {
+		return 0, fmt.Errorf("core: frame logical error rate: rounds must be >= 1, got %d", rounds)
+	}
+	if shots <= 0 {
+		return 0, nil
+	}
+	code := surface.NewCode(d)
+	circ := code.MemoryCircuit(rounds, p, p)
+	base, err := stab.NewBatchFrameSampler(circ, seed)
+	if err != nil {
+		return 0, fmt.Errorf("core: frame logical error rate: %w", err)
+	}
+
+	stabs := code.Stabilizers()
+	// Final-round Z-plaquette measurement indices and their plaquette
+	// cells: the decode syndrome. (The final ESM round is noise-free,
+	// so its flips are the accumulated data-error parities — the same
+	// telescoped detection-event sum the window-parity decode uses.)
+	finalBase := (rounds - 1) * len(stabs)
+	var zMis []int
+	var zAnc []surface.Coord
+	for i, st := range stabs {
+		if st.Basis == pauli.Z {
+			zMis = append(zMis, finalBase+i)
+			zAnc = append(zAnc, st.Anc)
+		}
+	}
+	// Data-readout measurement indices on the logical-Z support.
+	dataBase := rounds * len(stabs)
+	var logicalMis []int
+	for _, q := range code.LogicalZ() {
+		logicalMis = append(logicalMis, dataBase+code.DataIndex(q))
+	}
+	// Flip masks: flip column = record column XOR reference column.
+	refMask := make([]uint64, base.Measurements())
+	for i := range refMask {
+		if base.RefBit(i) {
+			refMask[i] = ^uint64(0)
+		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if blocks := (shots + 63) / 64; workers > blocks {
+		workers = blocks
+	}
+	var (
+		fails, nextBlock atomic.Int64
+		ctxErr           atomic.Bool
+		wg               sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bs := base.Clone()
+			syn := decoder.NewSyndromeBitmap(code)
+			var sc decoder.Scratch
+			var res decoder.Result
+			localFails := 0
+			for {
+				b := int(nextBlock.Add(1)) - 1
+				start := b * 64
+				if start >= shots {
+					break
+				}
+				if ctx.Err() != nil {
+					ctxErr.Store(true)
+					break
+				}
+				n := shots - start
+				if n > 64 {
+					n = 64
+				}
+				bs.Seek(start)
+				bs.SampleColumns(n, func(_, lanes int, cols []uint64) {
+					laneMask := ^uint64(0)
+					if lanes < 64 {
+						laneMask = uint64(1)<<uint(lanes) - 1
+					}
+					// Logical-Z flip parity of all 64 lanes at once.
+					var parity uint64
+					for _, mi := range logicalMis {
+						parity ^= cols[mi] ^ refMask[mi]
+					}
+					parity &= laneMask
+					any := parity
+					for _, mi := range zMis {
+						any |= (cols[mi] ^ refMask[mi]) & laneMask
+					}
+					if any == 0 {
+						return // no syndrome, no logical flip: no failures
+					}
+					for j := 0; j < lanes; j++ {
+						syn.Reset()
+						hot := 0
+						for k, mi := range zMis {
+							if (cols[mi]^refMask[mi])>>uint(j)&1 == 1 {
+								syn.Set(zAnc[k])
+								hot++
+							}
+						}
+						corr := false
+						if hot > 0 {
+							decoder.DecodePatchInto(code, pauli.Z, syn, &sc, &res)
+							for _, q := range res.Flips {
+								if q.Col == 0 {
+									corr = !corr
+								}
+							}
+						}
+						if (parity>>uint(j)&1 == 1) != corr {
+							localFails++
+						}
+					}
+				})
+			}
+			fails.Add(int64(localFails))
+		}()
+	}
+	wg.Wait()
+	if ctxErr.Load() {
+		return 0, ctx.Err()
+	}
+	return float64(fails.Load()) / float64(shots), nil
+}

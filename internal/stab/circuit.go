@@ -168,21 +168,11 @@ func (c *Circuit) SimulateTableau(seed int64) []bool {
 	return rec
 }
 
-// FrameSampler is the fast batch sampler: one noiseless tableau run fixes
-// the reference record (random measurement outcomes included); per-shot
-// noise then propagates as a Pauli frame in O(ops) bit work per shot,
-// flipping reference outcomes where the frame anticommutes with the
-// measurement. This is the decomposition Stim uses for noisy sampling —
-// correct for circuits whose measurement randomness does not feed back
-// into the gate sequence.
-type FrameSampler struct {
-	c   *Circuit
-	ref []bool
-	rng *xrand.Rand
-}
-
-// NewFrameSampler builds the sampler (runs the reference simulation).
-func NewFrameSampler(c *Circuit, seed int64) *FrameSampler {
+// noiselessReference strips the noise channels from c and runs the
+// remaining Clifford circuit once on the full tableau: the resulting
+// record (random measurement outcomes included) is the reference both
+// frame samplers flip against.
+func noiselessReference(c *Circuit, seed int64) []bool {
 	noiseless := &Circuit{N: c.N}
 	for _, op := range c.Ops {
 		switch op.Kind {
@@ -191,21 +181,61 @@ func NewFrameSampler(c *Circuit, seed int64) *FrameSampler {
 			noiseless.Ops = append(noiseless.Ops, op)
 		}
 	}
-	return &FrameSampler{
-		c:   c,
-		ref: noiseless.SimulateTableau(seed),
-		rng: xrand.New(seed + 1),
-	}
+	return noiseless.SimulateTableau(seed)
 }
 
-// Reference returns the noiseless reference record.
+// FrameSampler is the scalar frame sampler and the oracle for
+// BatchFrameSampler: one noiseless tableau run fixes the reference
+// record (random measurement outcomes included); per-shot noise then
+// propagates as a Pauli frame in O(ops) bit work per shot, flipping
+// reference outcomes where the frame anticommutes with the measurement.
+// This is the decomposition Stim uses for noisy sampling — correct for
+// circuits whose measurement randomness does not feed back into the
+// gate sequence.
+//
+// Records follow the documented (seed, shot-index) contract (see
+// compile.go): shot k of seed s is the same bit string no matter which
+// sampler draws it or in what order. The scalar path walks the original
+// IR with the string-dispatched pauli.Frame conjugations — deliberately
+// sharing no gate code with the batch path, so the equivalence tests
+// compare two independent implementations.
+type FrameSampler struct {
+	c     *Circuit
+	ref   []bool
+	seed  int64
+	shot  int                // next shot index
+	batch *BatchFrameSampler // bit-sliced path behind SampleBatch
+}
+
+// NewFrameSampler builds the sampler (runs the reference simulation).
+func NewFrameSampler(c *Circuit, seed int64) *FrameSampler {
+	return &FrameSampler{c: c, ref: noiselessReference(c, seed), seed: seed}
+}
+
+// Reference returns a copy of the noiseless reference record. The copy
+// keeps callers from aliasing internal state, so hot loops should call
+// it once outside the loop — or use RefBit, which does not allocate.
 func (fs *FrameSampler) Reference() []bool { return append([]bool(nil), fs.ref...) }
 
-// Sample draws one shot's measurement record by frame propagation.
+// RefBit returns bit i of the reference record without allocating.
+func (fs *FrameSampler) RefBit(i int) bool { return fs.ref[i] }
+
+// Sample draws the record of the cursor's shot index and advances the
+// cursor.
 func (fs *FrameSampler) Sample() []bool {
+	rec := fs.SampleShot(fs.shot)
+	fs.shot++
+	return rec
+}
+
+// SampleShot draws the record of one shot as a pure function of
+// (circuit, seed, shot): the replay entry point for reproducing a
+// single failing shot out of a batch.
+func (fs *FrameSampler) SampleShot(shot int) []bool {
 	frame := pauli.NewFrame(fs.c.N)
 	rec := make([]bool, 0, len(fs.ref))
-	mi := 0
+	block, lane := shot>>6, uint(shot&63)
+	mi, site := 0, 0
 	for _, op := range fs.c.Ops {
 		switch op.Kind {
 		case OpH:
@@ -231,27 +261,57 @@ func (fs *FrameSampler) Sample() []bool {
 		case OpReset:
 			frame.Ops[op.A] = pauli.I
 		case OpDepolarize1:
-			if fs.rng.Float64() < op.P {
-				frame.Update(op.A, pauli.Pauli(1+fs.rng.Intn(3)))
-			}
+			st := xrand.NewStream(noiseStreamSeed(fs.seed, site, block))
+			xm, zm := depolarizeMasks(&st, xrand.QuantizeProb(op.P))
+			frame.Update(op.A, pauli.FromBits(xm>>lane&1 == 1, zm>>lane&1 == 1))
+			site++
 		case OpFlipX:
-			if fs.rng.Float64() < op.P {
+			st := xrand.NewStream(noiseStreamSeed(fs.seed, site, block))
+			if st.BernoulliWord(xrand.QuantizeProb(op.P))>>lane&1 == 1 {
 				frame.Update(op.A, pauli.X)
 			}
+			site++
 		case OpFlipZ:
-			if fs.rng.Float64() < op.P {
+			st := xrand.NewStream(noiseStreamSeed(fs.seed, site, block))
+			if st.BernoulliWord(xrand.QuantizeProb(op.P))>>lane&1 == 1 {
 				frame.Update(op.A, pauli.Z)
 			}
+			site++
 		}
 	}
 	return rec
 }
 
-// SampleBatch draws n shots.
+// SampleBatch draws the next n shots through the bit-sliced batch path
+// (falling back to the scalar loop only for circuits CompileFrame
+// rejects). The cursor advances by n, so Sample and SampleBatch calls
+// interleave without changing any shot's record.
+//
+// Deprecated: the [][]bool return allocates one slice per shot. New
+// consumers should use BatchFrameSampler.SampleColumns (word-level
+// access, allocation-free) or SampleInto (per-shot records in a reused
+// buffer).
 func (fs *FrameSampler) SampleBatch(n int) [][]bool {
 	out := make([][]bool, n)
-	for i := range out {
-		out[i] = fs.Sample()
+	if n <= 0 {
+		return out
 	}
+	if fs.batch == nil {
+		if prog, err := fs.c.CompileFrame(); err == nil {
+			fs.batch = newBatchSampler(prog, fs.seed, fs.ref)
+		} else {
+			for i := range out {
+				out[i] = fs.Sample()
+			}
+			return out
+		}
+	}
+	fs.batch.Seek(fs.shot)
+	i := 0
+	fs.batch.SampleInto(n, func(shot int, rec []bool) {
+		out[i] = append([]bool(nil), rec...)
+		i++
+	})
+	fs.shot += n
 	return out
 }

@@ -187,3 +187,84 @@ func BenchmarkTableauShot(b *testing.B) {
 		c.SimulateTableau(int64(i))
 	}
 }
+
+// BenchmarkFrameSamplerBatch measures the bit-sliced sampler on the
+// same 100-qubit circuit as BenchmarkFrameSamplerShot. Each benchmark
+// iteration is ONE SHOT (drawn 64 per word internally), so ns/op here
+// divided into BenchmarkFrameSamplerShot's ns/op is the per-shot
+// speedup the tentpole targets (>=10x).
+func BenchmarkFrameSamplerBatch(b *testing.B) {
+	c := NewCircuit(100)
+	for q := 0; q < 100; q++ {
+		c.H(q)
+	}
+	for q := 0; q+1 < 100; q += 2 {
+		c.CX(q, q+1)
+	}
+	for q := 0; q < 100; q++ {
+		c.FlipX(q, 0.001)
+		c.MeasureZ(q)
+	}
+	bs, err := NewBatchFrameSampler(c, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := uint64(0)
+	fn := func(base, lanes int, cols []uint64) { sink ^= cols[0] }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := b.N - done
+		if n > 64 {
+			n = 64
+		}
+		bs.SampleColumns(n, fn)
+		done += n
+	}
+	if sink == 42 {
+		b.Log("unreachable sink")
+	}
+}
+
+// BenchmarkFrameSamplerBatchESM is the production shape: one ESM round
+// block of the d=5 surface code with depolarizing and measurement
+// noise, per-shot cost via the column API.
+func BenchmarkFrameSamplerBatchESM(b *testing.B) {
+	// Mirrors surface.Code.ESMCircuit(d, ...) without importing surface
+	// (import cycle: surface -> stab): a CX ladder per "round" with
+	// depolarizing noise on both qubits and noisy ancilla readout.
+	const n = 49
+	c := NewCircuit(n + 24)
+	for r := 0; r < 5; r++ {
+		for a := 0; a < 24; a++ {
+			c.Reset(n + a)
+			for k := 0; k < 4; k++ {
+				d := (a*4 + k*7 + r) % n
+				c.CX(d, n+a)
+				c.Depolarize1(d, 0.001)
+				c.Depolarize1(n+a, 0.001)
+			}
+			c.FlipX(n+a, 0.002)
+			c.MeasureZ(n + a)
+		}
+	}
+	bs, err := NewBatchFrameSampler(c, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := uint64(0)
+	fn := func(base, lanes int, cols []uint64) { sink ^= cols[0] }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		m := b.N - done
+		if m > 64 {
+			m = 64
+		}
+		bs.SampleColumns(m, fn)
+		done += m
+	}
+	if sink == 42 {
+		b.Log("unreachable sink")
+	}
+}

@@ -3,6 +3,7 @@ package stab_test
 import (
 	"testing"
 
+	"xqsim/internal/stab"
 	"xqsim/internal/verify"
 )
 
@@ -31,5 +32,44 @@ func FuzzTableau(f *testing.F) {
 		if err := verify.Lockstep(c, seed); err != nil {
 			t.Fatalf("lockstep diverged (seed=%d):\n%s\n%v", seed, verify.DumpCircuit(c), err)
 		}
+	})
+}
+
+// FuzzBatchFrame cross-checks the bit-sliced batch sampler against the
+// scalar oracle on fuzzer-mutated circuits: every parseable circuit
+// must compile (a parser/compiler validity disagreement is a bug, not
+// a skip) and every shot's record must be bit-identical between the
+// two samplers — the fuzz arm of the determinism contract.
+func FuzzBatchFrame(f *testing.F) {
+	f.Add("qubits 2\nH 0\nCX 0 1\nFLIPX 0 0.5\nMZ 0\nMZ 1\n", int64(1), int64(65))
+	f.Add("qubits 3\nH 2\nCZ 0 2\nDEP1 1 0.25\nRESET 0\nMZ 2\nMZ 1\nMZ 0\n", int64(2), int64(1))
+	f.Add("qubits 2\nDEP1 0 0.5\nFLIPZ 1 0.125\nS 1\nH 1\nMZ 1\nFLIPX 0 0.25\nMZ 0\n", int64(3), int64(130))
+	f.Add("qubits 4\nH 0\nCX 0 1\nCX 1 2\nCX 2 3\nDEP1 3 0.5\nMZ 3\nRESET 3\nMZ 0\n", int64(4), int64(64))
+	f.Fuzz(func(t *testing.T, src string, seed int64, nshots int64) {
+		c, err := verify.ParseCircuit(src)
+		if err != nil {
+			t.Skip()
+		}
+		if c.N > 16 || len(c.Ops) > 128 {
+			t.Skip()
+		}
+		bs, err := stab.NewBatchFrameSampler(c, seed)
+		if err != nil {
+			t.Fatalf("parseable circuit failed to compile: %v\n%s", err, verify.DumpCircuit(c))
+		}
+		n := int(nshots%130+130)%130 + 1 // 1..130: crosses two block boundaries
+		fs := stab.NewFrameSampler(c, seed)
+		bs.SampleInto(n, func(shot int, rec []bool) {
+			want := fs.SampleShot(shot)
+			if len(rec) != len(want) {
+				t.Fatalf("shot %d: batch record length %d, scalar %d", shot, len(rec), len(want))
+			}
+			for i := range rec {
+				if rec[i] != want[i] {
+					t.Fatalf("shot %d bit %d: batch %v, scalar %v (seed=%d)\n%s",
+						shot, i, rec[i], want[i], seed, verify.DumpCircuit(c))
+				}
+			}
+		})
 	})
 }

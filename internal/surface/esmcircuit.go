@@ -1,14 +1,59 @@
 package surface
 
 import (
+	"math/bits"
+
 	"xqsim/internal/pauli"
 	"xqsim/internal/stab"
 )
 
+// appendESMRound appends one syndrome-extraction round to circ: ancilla
+// resets, Hadamards on X-plaquette ancillas, the four CZ/CX entangling
+// layers in schedule order (CZTarget), closing Hadamards, and ancilla
+// measurements. p2q adds depolarizing noise after every two-qubit gate
+// and pMeas flips each ancilla readout.
+func (c Code) appendESMRound(circ *stab.Circuit, stabs []Stabilizer, p2q, pMeas float64) {
+	anc := func(i int) int { return c.D*c.D + i }
+	for i := range stabs {
+		circ.Reset(anc(i))
+	}
+	for i, st := range stabs {
+		if st.Basis == pauli.X {
+			circ.H(anc(i))
+		}
+	}
+	for k := 0; k < 4; k++ {
+		for i, st := range stabs {
+			q, ok := c.CZTarget(st, k)
+			if !ok {
+				continue
+			}
+			if st.Basis == pauli.X {
+				circ.CX(anc(i), c.DataIndex(q))
+			} else {
+				circ.CX(c.DataIndex(q), anc(i))
+			}
+			if p2q > 0 {
+				circ.Depolarize1(anc(i), p2q)
+				circ.Depolarize1(c.DataIndex(q), p2q)
+			}
+		}
+	}
+	for i, st := range stabs {
+		if st.Basis == pauli.X {
+			circ.H(anc(i))
+		}
+	}
+	for i := range stabs {
+		if pMeas > 0 {
+			circ.FlipX(anc(i), pMeas)
+		}
+		circ.MeasureZ(anc(i))
+	}
+}
+
 // ESMCircuit builds the explicit gate-level syndrome-extraction circuit
-// of one patch for the given number of rounds: per round, ancilla resets,
-// Hadamards on X-plaquette ancillas, the four CZ/CX entangling layers in
-// schedule order (CZTarget), closing Hadamards, and ancilla measurements.
+// of one patch for the given number of rounds.
 //
 // Qubit numbering: data qubits first (d*d, row-major), then one ancilla
 // per stabilizer in Stabilizers() order. The measurement record contains
@@ -21,58 +66,74 @@ import (
 // phenomenological-vs-circuit-level relation of Tomita & Svore.
 func (c Code) ESMCircuit(rounds int, p2q, pMeas float64) *stab.Circuit {
 	stabs := c.Stabilizers()
-	n := c.D*c.D + len(stabs)
-	circ := stab.NewCircuit(n)
-	anc := func(i int) int { return c.D*c.D + i }
-	data := func(q Coord) int { return c.DataIndex(q) }
-
+	circ := stab.NewCircuit(c.D*c.D + len(stabs))
 	for r := 0; r < rounds; r++ {
-		for i := range stabs {
-			circ.Reset(anc(i))
-		}
-		for i, st := range stabs {
-			if st.Basis == pauli.X {
-				circ.H(anc(i))
-			}
-		}
-		for k := 0; k < 4; k++ {
-			for i, st := range stabs {
-				q, ok := c.CZTarget(st, k)
-				if !ok {
-					continue
-				}
-				if st.Basis == pauli.X {
-					circ.CX(anc(i), data(q))
-				} else {
-					circ.CX(data(q), anc(i))
-				}
-				if p2q > 0 {
-					circ.Depolarize1(anc(i), p2q)
-					circ.Depolarize1(data(q), p2q)
-				}
-			}
-		}
-		for i, st := range stabs {
-			if st.Basis == pauli.X {
-				circ.H(anc(i))
-			}
-		}
-		for i := range stabs {
-			if pMeas > 0 {
-				circ.FlipX(anc(i), pMeas)
-			}
-			circ.MeasureZ(anc(i))
-		}
+		c.appendESMRound(circ, stabs, p2q, pMeas)
+	}
+	return circ
+}
+
+// MemoryCircuit builds the circuit-level Z-basis memory experiment:
+// rounds-1 noisy syndrome-extraction rounds, one final noise-free round
+// (the standard closure of the decoding window, mirroring the
+// phenomenological model's perfect final round), and a transversal
+// noise-free Z readout of every data qubit.
+//
+// The record is the ESM layout (rounds * len(stabs) ancilla outcomes,
+// round-major) followed by d*d data outcomes in row-major DataIndex
+// order. Decoding consumes the final round's Z-plaquette flips; the
+// logical Z outcome is the data-readout parity over LogicalZ().
+func (c Code) MemoryCircuit(rounds int, p2q, pMeas float64) *stab.Circuit {
+	stabs := c.Stabilizers()
+	circ := stab.NewCircuit(c.D*c.D + len(stabs))
+	for r := 0; r < rounds-1; r++ {
+		c.appendESMRound(circ, stabs, p2q, pMeas)
+	}
+	if rounds > 0 {
+		c.appendESMRound(circ, stabs, 0, 0)
+	}
+	for q := 0; q < c.D*c.D; q++ {
+		circ.MeasureZ(q)
 	}
 	return circ
 }
 
 // SyndromeDensity samples the ESM circuit and returns the fraction of
 // non-trivial detection events (outcome changes between consecutive
-// rounds) per ancilla per round after the first round.
+// rounds) per ancilla per round after the first round. Shots are drawn
+// through the bit-sliced batch sampler and events counted as column
+// popcounts, 64 shots per word.
 func (c Code) SyndromeDensity(rounds, shots int, p2q, pMeas float64, seed int64) float64 {
 	stabs := len(c.Stabilizers())
 	circ := c.ESMCircuit(rounds, p2q, pMeas)
+	bs, err := stab.NewBatchFrameSampler(circ, seed)
+	if err != nil {
+		// Unreachable for builder-generated circuits; keep the scalar
+		// oracle as the fallback rather than failing.
+		return scalarSyndromeDensity(circ, rounds, stabs, shots, seed)
+	}
+	events, total := 0, 0
+	bs.SampleColumns(shots, func(_, lanes int, cols []uint64) {
+		for r := 1; r < rounds; r++ {
+			row, prev := r*stabs, (r-1)*stabs
+			for i := 0; i < stabs; i++ {
+				// Lanes past the chunk are zero in both columns.
+				events += bits.OnesCount64(cols[row+i] ^ cols[prev+i])
+				total += lanes
+			}
+		}
+	})
+	if total == 0 {
+		return 0
+	}
+	return float64(events) / float64(total)
+}
+
+// scalarSyndromeDensity is the one-shot-at-a-time implementation, kept
+// as SyndromeDensity's fallback and as the oracle the bit-sliced column
+// path is tested against (the determinism contract makes the two
+// exactly equal, not just statistically close).
+func scalarSyndromeDensity(circ *stab.Circuit, rounds, stabs, shots int, seed int64) float64 {
 	fs := stab.NewFrameSampler(circ, seed)
 	events, total := 0, 0
 	for s := 0; s < shots; s++ {

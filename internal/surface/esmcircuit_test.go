@@ -3,6 +3,7 @@ package surface
 import (
 	"testing"
 
+	"xqsim/internal/pauli"
 	"xqsim/internal/stab"
 )
 
@@ -87,4 +88,106 @@ func TestESMCircuitDetectsInjectedError(t *testing.T) {
 	if flipped != 2 {
 		t.Fatalf("flipped plaquettes = %d, want 2", flipped)
 	}
+}
+
+// TestSyndromeDensityMatchesScalarOracle: the bit-sliced column path
+// and the scalar fallback count the same shots, so the densities are
+// exactly equal (the determinism contract, not a statistical bound).
+func TestSyndromeDensityMatchesScalarOracle(t *testing.T) {
+	c := NewCode(3)
+	const rounds, shots = 4, 70 // partial final block
+	stabs := len(c.Stabilizers())
+	for seed := int64(1); seed <= 3; seed++ {
+		got := c.SyndromeDensity(rounds, shots, 0.01, 0.02, seed)
+		circ := c.ESMCircuit(rounds, 0.01, 0.02)
+		want := scalarSyndromeDensity(circ, rounds, stabs, shots, seed)
+		//xqlint:ignore floateq both are the same integer event count over the same total
+		if got != want {
+			t.Fatalf("seed %d: batch density %v != scalar oracle %v", seed, got, want)
+		}
+	}
+	if d := scalarSyndromeDensity(c.ESMCircuit(1, 0.01, 0.02), 1, stabs, 10, 1); d != 0 {
+		t.Fatalf("single-round density = %v, want 0 (no consecutive rounds)", d)
+	}
+}
+
+// TestMemoryCircuitStructure pins the memory experiment's record
+// layout and its noise placement: the final ESM round and the data
+// readout are noise-free.
+func TestMemoryCircuitStructure(t *testing.T) {
+	c := NewCode(3)
+	const rounds = 3
+	stabs := len(c.Stabilizers())
+	circ := c.MemoryCircuit(rounds, 0.01, 0.01)
+	if want := rounds*stabs + c.DataQubits(); circ.Measurements() != want {
+		t.Fatalf("measurements = %d, want %d", circ.Measurements(), want)
+	}
+	// No noise op may appear after the last noisy round's measurements:
+	// walk ops and record the index of the last noise channel and the
+	// index of the first measurement of round rounds-1.
+	lastNoise, measSeen, finalRoundStart := -1, 0, -1
+	for i, op := range circ.Ops {
+		switch op.Kind {
+		case stab.OpDepolarize1, stab.OpFlipX, stab.OpFlipZ:
+			lastNoise = i
+		case stab.OpMeasureZ:
+			if measSeen == (rounds-1)*stabs {
+				finalRoundStart = i
+			}
+			measSeen++
+		}
+	}
+	if finalRoundStart < 0 || lastNoise > finalRoundStart {
+		t.Fatalf("noise op at %d after the last noisy round's measurements (final round starts at op %d)", lastNoise, finalRoundStart)
+	}
+}
+
+// TestMemoryCircuitReadoutConsistency: the transversal data readout
+// happens with no noise after the final ESM round, so per shot each
+// Z-plaquette's data-bit parity must equal its final-round ancilla
+// outcome, and with zero noise the logical-Z parity is exactly 0
+// (|0...0> is a +1 eigenstate of the logical Z).
+func TestMemoryCircuitReadoutConsistency(t *testing.T) {
+	c := NewCode(3)
+	const rounds = 3
+	stabs := c.Stabilizers()
+	dataBase := rounds * len(stabs)
+	check := func(p float64, shots int) {
+		t.Helper()
+		circ := c.MemoryCircuit(rounds, p, p)
+		bs, err := stab.NewBatchFrameSampler(circ, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs.SampleInto(shots, func(shot int, rec []bool) {
+			for i, st := range stabs {
+				if st.Basis != pauli.Z {
+					continue
+				}
+				parity := false
+				for _, q := range st.Data {
+					if rec[dataBase+c.DataIndex(q)] {
+						parity = !parity
+					}
+				}
+				if parity != rec[(rounds-1)*len(stabs)+i] {
+					t.Fatalf("p=%v shot %d: Z-plaquette %d data parity %v != final-round outcome %v",
+						p, shot, i, parity, rec[(rounds-1)*len(stabs)+i])
+				}
+			}
+			if p == 0 {
+				parity := false
+				for _, q := range c.LogicalZ() {
+					if rec[dataBase+c.DataIndex(q)] {
+						parity = !parity
+					}
+				}
+				if parity {
+					t.Fatalf("noiseless shot %d: logical-Z parity flipped", shot)
+				}
+			}
+		})
+	}
+	check(0, 70)
+	check(0.02, 192)
 }

@@ -38,6 +38,7 @@ func TestParallelSweepDeterministic(t *testing.T) {
 		{"fig17", func() (Result, error) { return Fig17(context.Background(), 71) }},
 		{"fig19", func() (Result, error) { return Fig19(context.Background(), 71) }},
 		{"threshold", func() (Result, error) { return ThresholdStudy(context.Background(), 60, 71) }},
+		{"circuit-threshold", func() (Result, error) { return CircuitThresholdStudy(context.Background(), 320, 71) }},
 	} {
 		a, errA := tc.run()
 		b, errB := tc.run()

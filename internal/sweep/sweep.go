@@ -608,6 +608,47 @@ func ThresholdStudy(ctx context.Context, trials int, seed int64) (Result, error)
 	return res, nil
 }
 
+// CircuitThresholdStudy is the circuit-level counterpart of
+// ThresholdStudy: instead of the phenomenological backend model, each
+// cell compiles the explicit gate-level memory experiment
+// (surface.MemoryCircuit, depolarizing noise after every two-qubit
+// gate, readout flips) and measures the logical error rate through the
+// bit-sliced batch frame sampler at 64 shots per machine word. Cells
+// run serially — core.FrameLogicalErrorRate already saturates the
+// machine's cores internally.
+func CircuitThresholdStudy(ctx context.Context, shots int, seed int64) (Result, error) {
+	res := Result{
+		ID:      "circuit-threshold",
+		Title:   "circuit-level memory threshold via batch frame sampling",
+		Anchors: map[string][2]float64{},
+	}
+	ps := []float64{0.001, 0.002, 0.005, 0.01, 0.02}
+	for _, d := range []int{3, 5, 7} {
+		s := Series{Name: fmt.Sprintf("circuit-logical-error-rate-d%d", d)}
+		for i, p := range ps {
+			cellSeed := seed + int64(d)*1000 + int64(i)
+			rate, err := core.FrameLogicalErrorRate(ctx, d, p, d, shots, cellSeed)
+			if err != nil {
+				return Result{}, err
+			}
+			s.X = append(s.X, p)
+			s.Y = append(s.Y, rate)
+		}
+		res.Series = append(res.Series, s)
+	}
+	// Sub-threshold ordering anchor at p = 0.1%, the study's operating
+	// point (circuit-level noise halves the effective threshold, so the
+	// 1% anchor ThresholdStudy uses sits above the crossing here).
+	d3 := res.Series[0].Y[0]
+	d7 := res.Series[2].Y[0]
+	res.Anchors["d=3 circuit-level rate at p=0.1%"] = [2]float64{0, d3}
+	res.Anchors["d=7 suppression vs d=3 at p=0.1% (x)"] = [2]float64{0, safeRatio(d3, d7)}
+	res.Notes = append(res.Notes,
+		"no paper counterpart: validates the compiled batch frame sampler end-to-end (circuit-level noise, d rounds, final round noise-free)",
+		"decoding consumes only the final round's Z-plaquette flips (window parity over d rounds), so suppression saturates earlier than a full spacetime matching would")
+	return res, nil
+}
+
 func safeRatio(a, b float64) float64 {
 	//xqlint:ignore floateq exact sentinel: rates are failure counts over trials; 0.0 means zero observed failures
 	if b == 0 {

@@ -235,6 +235,31 @@ func TestMarkdownReport(t *testing.T) {
 	}
 }
 
+func TestCircuitThresholdStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("circuit threshold study samples many memory shots")
+	}
+	r := must(t)(CircuitThresholdStudy(context.Background(), 2_000, 5))
+	if r.ID != "circuit-threshold" || len(r.Series) != 3 {
+		t.Fatalf("id=%q series=%d", r.ID, len(r.Series))
+	}
+	// Rates grow with p for every d, and the highest-p cell actually
+	// observed failures (circuit-level d=7 at p=2% is deep above
+	// threshold).
+	for d := 0; d < 3; d++ {
+		ys := r.Series[d].Y
+		if ys[0] > ys[len(ys)-1] {
+			t.Errorf("d-series %d not increasing with p: %v", d, ys)
+		}
+	}
+	if last := r.Series[2].Y[len(r.Series[2].Y)-1]; last < 0.05 {
+		t.Errorf("d=7 at p=2%% suspiciously clean: %.4f", last)
+	}
+	if len(r.Anchors) != 2 || len(r.Notes) != 2 {
+		t.Errorf("anchors=%d notes=%d, want 2 and 2", len(r.Anchors), len(r.Notes))
+	}
+}
+
 func TestThresholdStudy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("threshold study samples many memory runs")

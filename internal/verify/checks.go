@@ -255,8 +255,11 @@ func checkFrameCircuit(c *stab.Circuit, seed int64, shots int) string {
 	if err != nil {
 		return fmt.Sprintf("oracle (noiseless): %v", err)
 	}
-	fs := stab.NewFrameSampler(c, seed)
-	ref := recordKey(fs.Reference())
+	bs, err := stab.NewBatchFrameSampler(c, seed)
+	if err != nil {
+		return fmt.Sprintf("batch compile: %v", err)
+	}
+	ref := recordKey(bs.Reference())
 	onSupport := false
 	for _, s := range sup {
 		if s == ref {
@@ -267,13 +270,16 @@ func checkFrameCircuit(c *stab.Circuit, seed int64, shots int) string {
 	if !onSupport {
 		return fmt.Sprintf("reference record %#x outside the noiseless support %v", ref, sup)
 	}
+	// Shots are drawn 64 per word through the batch sampler; the
+	// determinism contract makes this bit-identical to the scalar
+	// FrameSampler loop this check originally ran.
 	smear := xrand.New(seed ^ shotSeedSalt)
 	counts := make(map[uint64]int)
-	for i := 0; i < shots; i++ {
-		r := recordKey(fs.Sample())
+	bs.SampleInto(shots, func(_ int, rec []bool) {
+		r := recordKey(rec)
 		s := sup[smear.Intn(len(sup))]
 		counts[r^ref^s]++
-	}
+	})
 	if res := ChiSquare(dist, counts, shots); !res.OK() {
 		return fmt.Sprintf("FrameSampler flip distribution vs statevec oracle: %s (ref=%#x, |support|=%d)", res, ref, len(sup))
 	}

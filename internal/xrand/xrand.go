@@ -10,9 +10,21 @@
 // splitmix64 steps and draws faster, which removes per-shot RNG setup
 // from the hot path while keeping the same seed-in, stream-out
 // determinism (a given seed always yields the same stream).
+//
+// For the bit-sliced batch samplers the package additionally exposes the
+// bare generator as the concrete Stream type plus bulk word helpers
+// (FillUint64, Bernoulli): hot loops draw whole 64-lane words without
+// the interface dispatch of rand.Source64, and FillUint64/Bernoulli are
+// defined to consume exactly the same underlying Uint64 stream a
+// sequential caller would see, so scalar and batch consumers of one seed
+// stay bit-compatible.
 package xrand
 
-import "math/rand"
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+)
 
 // Rand aliases math/rand.Rand so simulation packages can hold and pass
 // generators without importing math/rand themselves: the xqlint
@@ -23,9 +35,13 @@ type Rand = rand.Rand
 // Source64 aliases math/rand.Source64 for callers wrapping NewSource.
 type Source64 = rand.Source64
 
-// source implements rand.Source64 with xoshiro256**
-// (Blackman & Vigna, 2018).
-type source struct {
+// Stream is the bare xoshiro256** generator (Blackman & Vigna, 2018) as
+// a concrete value type. Hot loops that draw raw words hold a Stream
+// directly — method calls inline and there is no Source64 interface
+// dispatch — while New/NewSource wrap the identical state machine for
+// callers that want math/rand's distribution helpers. A given seed
+// yields the same word stream through every wrapper.
+type Stream struct {
 	s0, s1, s2, s3 uint64
 }
 
@@ -33,7 +49,7 @@ type source struct {
 // seeded with seed. It is a drop-in replacement for
 // rand.New(rand.NewSource(seed)) with O(1) seeding.
 func New(seed int64) *Rand {
-	var s source
+	var s Stream
 	s.Seed(seed)
 	return rand.New(&s)
 }
@@ -41,9 +57,16 @@ func New(seed int64) *Rand {
 // NewSource returns the bare Source64 for callers that want to wrap it
 // themselves.
 func NewSource(seed int64) Source64 {
-	var s source
+	var s Stream
 	s.Seed(seed)
 	return &s
+}
+
+// NewStream returns a seeded Stream by value (no heap allocation).
+func NewStream(seed int64) Stream {
+	var s Stream
+	s.Seed(seed)
+	return s
 }
 
 // splitmix64 is the recommended seeding mixer for xoshiro: it
@@ -57,8 +80,24 @@ func splitmix64(x *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Mix derives a decorrelated sub-stream seed from a base seed and a
+// sequence of lane identifiers (noise-site index, shot-block index, …)
+// by chaining splitmix64 with each identifier folded into the state.
+// Distinct identifier tuples give statistically independent streams;
+// the mapping is fixed — replay seeds depend on it — but carries no
+// cryptographic claim.
+func Mix(seed int64, ids ...uint64) int64 {
+	x := uint64(seed)
+	out := splitmix64(&x)
+	for _, id := range ids {
+		x ^= out ^ id
+		out = splitmix64(&x)
+	}
+	return int64(out)
+}
+
 // Seed resets the generator state as a deterministic function of seed.
-func (s *source) Seed(seed int64) {
+func (s *Stream) Seed(seed int64) {
 	x := uint64(seed)
 	s.s0 = splitmix64(&x)
 	s.s1 = splitmix64(&x)
@@ -69,7 +108,7 @@ func (s *source) Seed(seed int64) {
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 advances the generator one step.
-func (s *source) Uint64() uint64 {
+func (s *Stream) Uint64() uint64 {
 	r := rotl(s.s1*5, 7) * 9
 	t := s.s1 << 17
 	s.s2 ^= s.s0
@@ -82,6 +121,96 @@ func (s *source) Uint64() uint64 {
 }
 
 // Int63 satisfies rand.Source.
-func (s *source) Int63() int64 {
+func (s *Stream) Int63() int64 {
 	return int64(s.Uint64() >> 1)
+}
+
+// FillUint64 fills dst with consecutive draws: dst[i] receives exactly
+// the value the (i+1)-th sequential Uint64 call would have returned, so
+// bulk and scalar consumers of one stream interleave freely.
+func (s *Stream) FillUint64(dst []uint64) {
+	for i := range dst {
+		dst[i] = s.Uint64()
+	}
+}
+
+// Probability quantization for Bernoulli masks: probabilities are
+// rounded to a dyadic fraction m/2^ProbBits. 30 bits keep the rounding
+// error below 1e-9 (negligible against Monte-Carlo noise at any
+// reachable shot count) while bounding the draw cost of one mask word
+// at ProbBits Uint64s.
+const (
+	// ProbBits is the number of binary digits kept when quantizing a
+	// Bernoulli probability.
+	ProbBits = 30
+	// ProbOne is the quantized numerator representing probability 1.
+	ProbOne = 1 << ProbBits
+)
+
+// QuantizeProb maps p to the numerator m of the dyadic approximation
+// m/2^ProbBits, clamped to [0, ProbOne]. Dyadic inputs with at most
+// ProbBits digits (0.5, 0.125, 1/1024, …) are represented exactly.
+func QuantizeProb(p float64) uint32 {
+	if !(p > 0) { // also maps NaN to 0 (uint32(NaN) is platform-defined)
+		return 0
+	}
+	if p >= 1 {
+		return ProbOne
+	}
+	// 0 < p < 1 here, so Round(p*2^30) <= 2^30 = ProbOne always fits.
+	return uint32(math.Round(p * ProbOne))
+}
+
+// BernoulliDraws returns how many Uint64 draws BernoulliWord(m)
+// consumes: 0 for the degenerate masks, otherwise one per significant
+// bit of m down from the top of the quantization (trailing zero bits of
+// m need no randomness).
+func BernoulliDraws(m uint32) int {
+	if m == 0 || m >= ProbOne {
+		return 0
+	}
+	return ProbBits - bits.TrailingZeros32(m)
+}
+
+// BernoulliWord returns a word whose 64 bits are independent Bernoulli
+// samples, each set with probability m/2^ProbBits (see QuantizeProb).
+// It implements the bitwise comparison acc = [U < m/2^ProbBits] of
+// 64 uniform binary fractions U against the threshold in parallel,
+// consuming the threshold's digits least-significant first: a 1-digit
+// ORs the next random word into the accumulator ("less-than if this
+// digit is smaller, i.e. the strict suffix comparison already won OR
+// the random digit is 0" folds to r|acc after simplification), a
+// 0-digit ANDs it. Digits below the lowest set bit of m cannot change
+// the comparison and are skipped, so the word costs BernoulliDraws(m)
+// draws — e.g. a single draw for p=1/2 and none at all for p in {0,1},
+// which keeps p=1 noise channels fully deterministic.
+func (s *Stream) BernoulliWord(m uint32) uint64 {
+	if m == 0 {
+		return 0
+	}
+	if m >= ProbOne {
+		return ^uint64(0)
+	}
+	acc := uint64(0)
+	for bit := uint(bits.TrailingZeros32(m)); bit < ProbBits; bit++ {
+		r := s.Uint64()
+		if m>>bit&1 == 1 {
+			acc |= r
+		} else {
+			acc &= r
+		}
+	}
+	return acc
+}
+
+// Bernoulli fills dst with BernoulliWord masks for probability p: after
+// the call, every bit of dst is an independent Bernoulli(QuantizeProb
+// approximation of p) sample. Words are generated in slice order from
+// the sequential Uint64 stream, so the draw count is
+// len(dst)*BernoulliDraws(QuantizeProb(p)).
+func (s *Stream) Bernoulli(p float64, dst []uint64) {
+	m := QuantizeProb(p)
+	for i := range dst {
+		dst[i] = s.BernoulliWord(m)
+	}
 }
