@@ -6,14 +6,21 @@
 //
 // With -check it additionally compares the fresh run against a committed
 // baseline and exits 1 when any shared benchmark regressed by more than
-// -tolerance x in ns/op, so CI can gate on performance:
+// -tolerance x in ns/op or allocs/op, so CI can gate on both performance
+// and the allocation-free steady-state invariants:
 //
-//	go run ./cmd/xqbench -check BENCH_5.json -tolerance 2.0
+//	go run ./cmd/xqbench -check BENCH_6.json -tolerance 2.0
 //
-// The set covers the hot paths the bit-sliced frame sampler work
-// targets (scalar vs batch sampling, circuit-level decoding) plus the
-// established pipeline/decoder/sweep benchmarks, kept small enough to
-// finish in well under a minute.
+// With -compare it renders a benchstat-style old-vs-new table from two
+// committed summaries instead of running anything:
+//
+//	go run ./cmd/xqbench -compare BENCH_5.json BENCH_6.json
+//
+// The set covers the hot paths the allocation-free batch pipeline work
+// targets (steady-state vs cold pipeline shots, compiled memory and
+// density cells, scalar vs batch sampling) plus the established
+// decoder/sweep benchmarks, kept small enough to finish in well under a
+// minute.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"testing"
 
@@ -120,10 +128,15 @@ func benchmarks() []struct {
 			}
 		}},
 		{"syndrome-density-d5", func(b *testing.B) {
-			code := surface.NewCode(5)
+			// One compiled density cell, reused: per-op cost is sampling
+			// and counting 64 shots, not circuit compilation.
+			s, err := surface.NewCode(5).NewSyndromeDensitySampler(5, 0.001, 0.002, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				_ = code.SyndromeDensity(5, 64, 0.001, 0.002, 1)
+				_ = s.Density(64)
 			}
 		}},
 		{"decode-patch-d7", func(b *testing.B) {
@@ -148,15 +161,40 @@ func benchmarks() []struct {
 			}
 		}},
 		{"frame-memory-cell-d3", func(b *testing.B) {
-			// One circuit-level threshold cell: 256 memory shots at d=3,
-			// sampled and decoded through the batch path.
+			// One circuit-level threshold cell: 256 memory shots at d=3
+			// through a compiled cell reused across iterations — the
+			// steady-state cost of a sweep-grid cell.
+			cell, err := core.NewFrameMemoryCell(3, 0.01, 3, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.FrameLogicalErrorRate(ctx, 3, 0.01, 3, 256, 1); err != nil {
+				if _, err := cell.Rate(ctx, 256); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}},
 		{"pipeline-shot", func(b *testing.B) {
+			// Steady-state shot: the circuit is compiled once and the
+			// pipeline reused, so one op is Reset + compiled replay (the
+			// allocation-free path RunShots workers run).
+			circ := xqsim.SinglePPR("ZZZ", xqsim.AnglePi8).SubstituteStabilizer()
+			runner, err := core.NewShotRunner(circ, 3, 0.001, 1, core.RunOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := runner.RunShot(ctx, i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"pipeline-shot-cold", func(b *testing.B) {
+			// Cold shot: full per-op construction (compile, layout,
+			// pipeline, tableau) plus the run — the old pipeline-shot
+			// definition, kept to watch construction cost separately.
 			circ := xqsim.SinglePPR("ZZZ", xqsim.AnglePi8).SubstituteStabilizer()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -173,6 +211,12 @@ func benchmarks() []struct {
 			}
 		}},
 		{"threshold-study", func(b *testing.B) {
+			// Pin to one worker: the experiment pool sizes itself to
+			// GOMAXPROCS, so both allocs/op (pool construction) and
+			// ns/op would otherwise vary with the machine's core count
+			// and make the committed baseline meaningless in CI.
+			old := runtime.GOMAXPROCS(1)
+			defer runtime.GOMAXPROCS(old)
 			for i := 0; i < b.N; i++ {
 				if _, err := xqsim.ThresholdStudy(ctx, 60, 5); err != nil {
 					b.Fatal(err)
@@ -189,8 +233,21 @@ func main() {
 		tolerance = flag.Float64("tolerance", 2.0, "with -check: fail when ns/op exceeds baseline by this factor")
 		benchtime = flag.String("benchtime", "", "per-benchmark measurement time (testing -benchtime syntax, e.g. 200ms or 100x)")
 		only      = flag.String("only", "", "run only the benchmark with this name")
+		compare   = flag.Bool("compare", false, "compare two summary files (xqbench -compare old.json new.json) instead of running benchmarks")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			_, _ = fmt.Fprintln(os.Stderr, "usage: xqbench -compare old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareSummaries(flag.Arg(0), flag.Arg(1)); err != nil {
+			_, _ = fmt.Fprintln(os.Stderr, "xqbench:", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	// testing.Benchmark reads the -test.benchtime flag; register the
 	// testing flags so a shorter budget can be injected for smoke runs.
@@ -260,9 +317,15 @@ func measure(fn func(b *testing.B)) (Metrics, bool) {
 }
 
 // checkBaseline fails when a benchmark present in both runs regressed
-// by more than tolerance x in ns/op, or when a baseline benchmark is
-// missing from the fresh run (a silently-dropped benchmark would make
+// beyond tolerance x in ns/op or allocs/op, or when a baseline benchmark
+// is missing from the fresh run (a silently-dropped benchmark would make
 // the gate vacuous). Benchmarks new since the baseline only warn.
+//
+// The allocation gate carries an absolute slack of 8 allocs/op on top of
+// the ratio, so near-zero baselines (the whole point of the
+// allocation-free pipeline work) don't trip on measurement jitter — but
+// a benchmark pinned at 0 that starts allocating hundreds of times
+// fails even though any ratio against 0 is undefined.
 func checkBaseline(path string, fresh map[string]Metrics, tolerance float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -290,6 +353,12 @@ func checkBaseline(path string, fresh map[string]Metrics, tolerance float64) err
 				fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%.2fx > %.1fx tolerance)",
 					name, f.NsPerOp, b.NsPerOp, f.NsPerOp/b.NsPerOp, tolerance))
 		}
+		const allocSlack = 8
+		if f.AllocsPerOp > tolerance*b.AllocsPerOp && f.AllocsPerOp > b.AllocsPerOp+allocSlack {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f (beyond %.1fx + %d slack)",
+					name, f.AllocsPerOp, b.AllocsPerOp, tolerance, allocSlack))
+		}
 	}
 	for name := range fresh {
 		if _, ok := base[name]; !ok {
@@ -301,6 +370,69 @@ func checkBaseline(path string, fresh map[string]Metrics, tolerance float64) err
 			_, _ = fmt.Fprintln(os.Stderr, "regression:", r)
 		}
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.1fx", len(regressions), tolerance)
+	}
+	return nil
+}
+
+// compareSummaries prints a benchstat-style old-vs-new table for two
+// summary files, with per-benchmark deltas in ns/op and allocs/op.
+// Benchmarks present in only one file are listed with a dash on the
+// missing side. It never fails on deltas — it is a reporting tool;
+// gating belongs to -check.
+func compareSummaries(oldPath, newPath string) error {
+	load := func(path string) (map[string]Metrics, error) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var m map[string]Metrics
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return m, nil
+	}
+	oldM, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newM, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(oldM)+len(newM))
+	for name := range oldM {
+		names = append(names, name)
+	}
+	for name := range newM {
+		if _, ok := oldM[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	delta := func(o, n float64) string {
+		if o <= 0 {
+			return "    ~"
+		}
+		return fmt.Sprintf("%+.1f%%", 100*(n-o)/o)
+	}
+	fmt.Printf("%-28s %14s %14s %8s   %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
+	for _, name := range names {
+		o, haveOld := oldM[name]
+		n, haveNew := newM[name]
+		switch {
+		case !haveOld:
+			fmt.Printf("%-28s %14s %14.1f %8s   %12s %12.0f %8s\n",
+				name, "-", n.NsPerOp, "new", "-", n.AllocsPerOp, "new")
+		case !haveNew:
+			fmt.Printf("%-28s %14.1f %14s %8s   %12.0f %12s %8s\n",
+				name, o.NsPerOp, "-", "gone", o.AllocsPerOp, "-", "gone")
+		default:
+			fmt.Printf("%-28s %14.1f %14.1f %8s   %12.0f %12.0f %8s\n",
+				name, o.NsPerOp, n.NsPerOp, delta(o.NsPerOp, n.NsPerOp),
+				o.AllocsPerOp, n.AllocsPerOp, delta(o.AllocsPerOp, n.AllocsPerOp))
+		}
 	}
 	return nil
 }

@@ -80,9 +80,9 @@ func main() {
 	}
 
 	fmt.Println("\nmeasurement registers:")
-	for mreg, v := range pl.M.MregFile {
+	pl.M.MregFile.Range(func(mreg uint16, v bool) {
 		fmt.Printf("  mreg[%d] = %v\n", mreg, v)
-	}
+	})
 
 	// Table 2 style dump for one merged patch.
 	fmt.Println("\nTable-2-style patch information (logical qubit 0's patch):")

@@ -1,0 +1,107 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"xqsim/internal/core"
+)
+
+// TestFrameMemoryCellMatchesFrameLogicalErrorRate: the serial reusable
+// cell and the parallel per-call API decode the same deterministic shot
+// stream, so their rates are exactly equal.
+func TestFrameMemoryCellMatchesFrameLogicalErrorRate(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		d     int
+		p     float64
+		shots int
+	}{
+		{3, 0.02, 500},
+		{3, 0.01, 130}, // partial final block
+		{5, 0.01, 256},
+	} {
+		cell, err := core.NewFrameMemoryCell(tc.d, tc.p, tc.d, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cell.Rate(ctx, tc.shots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.FrameLogicalErrorRate(ctx, tc.d, tc.p, tc.d, tc.shots, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		//xqlint:ignore floateq both are fail-counts divided by the same shot total
+		if got != want {
+			t.Fatalf("d=%d p=%v shots=%d: cell rate %v != FrameLogicalErrorRate %v",
+				tc.d, tc.p, tc.shots, got, want)
+		}
+	}
+}
+
+// TestFrameMemoryCellRepeatable: Rate rewinds the sampler, so repeated
+// calls return the identical value, and a clone decodes the same stream.
+func TestFrameMemoryCellRepeatable(t *testing.T) {
+	ctx := context.Background()
+	cell, err := core.NewFrameMemoryCell(3, 0.02, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := cell.Rate(ctx, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := cell.Rate(ctx, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloned, err := cell.Clone().Rate(ctx, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	//xqlint:ignore floateq identical deterministic streams must produce identical counts
+	if first != again || first != cloned {
+		t.Fatalf("rates diverge: first %v, again %v, clone %v", first, again, cloned)
+	}
+}
+
+// TestFrameMemoryCellValidation mirrors the FrameLogicalErrorRate
+// parameter checks at the cell constructor.
+func TestFrameMemoryCellValidation(t *testing.T) {
+	for _, tc := range []struct{ d, rounds int }{{2, 3}, {1, 3}, {4, 3}, {3, 0}} {
+		if _, err := core.NewFrameMemoryCell(tc.d, 0.01, tc.rounds, 1); err == nil {
+			t.Errorf("d=%d rounds=%d: expected an error", tc.d, tc.rounds)
+		}
+	}
+	cell, err := core.NewFrameMemoryCell(3, 0.01, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, err := cell.Rate(context.Background(), 0)
+	if err != nil || rate != 0 {
+		t.Fatalf("zero shots: rate=%v err=%v, want 0, nil", rate, err)
+	}
+}
+
+// TestFrameMemoryCellSteadyStateAllocs pins the compiled cell's shot
+// loop at zero heap allocations after warmup.
+func TestFrameMemoryCellSteadyStateAllocs(t *testing.T) {
+	ctx := context.Background()
+	cell, err := core.NewFrameMemoryCell(3, 0.02, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		if _, err := cell.Rate(ctx, 256); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		run() // warm up lazily-grown decoder scratch
+	}
+	if avg := testing.AllocsPerRun(16, run); avg != 0 {
+		t.Fatalf("steady-state cell allocates %.1f times, want 0", avg)
+	}
+}

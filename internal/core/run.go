@@ -71,8 +71,10 @@ func ShotSeed(seed int64, shot int) int64 { return seed + int64(shot)*shotSeedSt
 // tests can inject deliberate panics into worker goroutines.
 var shotHook func(shot int)
 
-// runOneShot executes a single shot end to end, converting a worker
-// panic into an error that names the shot and its seed for replay.
+// runOneShot executes a single shot end to end through the interpreted
+// path, building a fresh pipeline — the reference implementation the
+// reusable ShotRunner is tested against. A worker panic is converted
+// into an error that names the shot and its seed for replay.
 func runOneShot(ctx context.Context, res *compiler.Result, nLQ, d int, physError float64, seed int64, s int, opts RunOptions) (m *microarch.Metrics, key int, err error) {
 	shotSeed := ShotSeed(seed, s)
 	defer func() {
@@ -96,11 +98,98 @@ func runOneShot(ctx context.Context, res *compiler.Result, nLQ, d int, physError
 		return nil, 0, fmt.Errorf("core: shot %d (seed %d): %w", s, shotSeed, err)
 	}
 	for q, mreg := range res.FinalMreg {
-		if pl.M.MregFile[uint16(mreg)] {
+		if pl.M.MregFile.Get(uint16(mreg)) {
 			key |= 1 << uint(q)
 		}
 	}
 	return &pl.M, key, nil
+}
+
+// ShotRunner executes shots of one circuit through a reusable pipeline.
+// The circuit is compiled exactly once — QISA program plus the
+// pre-validated micro-op stream — and every RunShot resets the same
+// pipeline to the shot's derived seed, so the steady-state shot costs
+// zero heap allocations (pinned by TestShotRunnerSteadyStateAllocs).
+// The pipeline Reset determinism contract makes each shot bit-identical
+// to what a freshly built pipeline would produce, so results do not
+// depend on which runner (or how warmed-up a runner) executes a shot.
+//
+// A runner is single-goroutine; Clone gives each worker its own pipeline
+// over the shared compiled artifacts.
+type ShotRunner struct {
+	res  *compiler.Result
+	cp   *microarch.CompiledProgram
+	nLQ  int
+	seed int64
+	opts RunOptions
+	pl   *microarch.Pipeline
+}
+
+// NewShotRunner validates and compiles circ once and builds the reusable
+// pipeline. Shot s of RunShot draws its stream from ShotSeed(seed, s).
+func NewShotRunner(circ compiler.Circuit, d int, physError float64, seed int64, opts RunOptions) (*ShotRunner, error) {
+	if err := opts.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := compiler.Compile(circ)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := microarch.CompileProgram(res.Program, circ.NLQ, d)
+	if err != nil {
+		return nil, err
+	}
+	cfg := PipelineConfig(d, physError, decoder.SchemePriority, true, seed)
+	cfg.Faults = opts.Faults
+	return &ShotRunner{
+		res:  res,
+		cp:   cp,
+		nLQ:  circ.NLQ,
+		seed: seed,
+		opts: opts,
+		pl:   microarch.NewPipeline(surface.NewPPRLayout(circ.NLQ, d), cfg),
+	}, nil
+}
+
+// Clone returns a runner over the same compiled program with its own
+// pipeline, so shots can run on several workers concurrently.
+func (r *ShotRunner) Clone() *ShotRunner {
+	c := *r
+	c.pl = microarch.NewPipeline(surface.NewPPRLayout(r.nLQ, r.pl.Cfg.D), r.pl.Cfg)
+	return &c
+}
+
+// RunShot executes shot s: the pipeline is rewound to ShotSeed(seed, s)
+// and the compiled stream replayed. The returned metrics point into the
+// runner's pipeline and are valid until the next RunShot; callers that
+// keep them across shots must copy the value. A panic is recovered into
+// an error naming the shot and its replay seed, like RunShots reports.
+func (r *ShotRunner) RunShot(ctx context.Context, s int) (m *microarch.Metrics, key int, err error) {
+	shotSeed := ShotSeed(r.seed, s)
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("core: shot %d panicked: %v (replay with seed %d)", s, rec, shotSeed)
+		}
+	}()
+	if shotHook != nil {
+		shotHook(s)
+	}
+	r.pl.Reset(shotSeed)
+	runCtx := ctx
+	if r.opts.ShotTimeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, r.opts.ShotTimeout)
+		defer cancel()
+	}
+	if err := r.pl.RunCompiled(runCtx, r.cp); err != nil {
+		return nil, 0, fmt.Errorf("core: shot %d (seed %d): %w", s, shotSeed, err)
+	}
+	for q, mreg := range r.res.FinalMreg {
+		if r.pl.M.MregFile.Get(uint16(mreg)) {
+			key |= 1 << uint(q)
+		}
+	}
+	return &r.pl.M, key, nil
 }
 
 // RunShots executes a circuit through the full stack (compiler -> QISA ->
@@ -123,10 +212,7 @@ func RunShots(ctx context.Context, circ compiler.Circuit, d int, physError float
 // identical regardless of worker scheduling). A panicking shot is
 // recovered and reported as an error naming the shot index and seed.
 func RunShotsOpt(ctx context.Context, circ compiler.Circuit, d int, physError float64, shots int, seed int64, opts RunOptions) ([]float64, *microarch.Metrics, error) {
-	if err := opts.Faults.Validate(); err != nil {
-		return nil, nil, err
-	}
-	res, err := compiler.Compile(circ)
+	base, err := NewShotRunner(circ, d, physError, seed, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -151,15 +237,21 @@ func RunShotsOpt(ctx context.Context, circ compiler.Circuit, d int, physError fl
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		runner := base
+		if w > 0 {
+			runner = base.Clone()
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			// Per-worker tallies; merged under the mutex once at the end
-			// so the hot loop stays contention-free.
+			// so the hot loop stays contention-free. The metrics buffer is
+			// a value copy: RunShot's result lives inside the reused
+			// pipeline and is overwritten by the worker's next shot.
 			local := make([]float64, len(counts))
 			var localFaults faults.Totals
 			localLast := -1
-			var localM *microarch.Metrics
+			var localM microarch.Metrics
 			var localErr error
 			localErrShot := shots
 			for {
@@ -173,7 +265,7 @@ func RunShotsOpt(ctx context.Context, circ compiler.Circuit, d int, physError fl
 					}
 					break
 				}
-				m, key, err := runOneShot(ctx, res, circ.NLQ, d, physError, seed, s, opts)
+				m, key, err := runner.RunShot(ctx, s)
 				if err != nil {
 					if s < localErrShot {
 						localErr, localErrShot = err, s
@@ -183,7 +275,7 @@ func RunShotsOpt(ctx context.Context, circ compiler.Circuit, d int, physError fl
 				local[key]++
 				localFaults.Add(m.Faults)
 				if s > localLast {
-					localLast, localM = s, m
+					localLast, localM = s, *m
 				}
 			}
 			mu.Lock()
@@ -193,7 +285,8 @@ func RunShotsOpt(ctx context.Context, circ compiler.Circuit, d int, physError fl
 			}
 			faultSum.Add(localFaults)
 			if localLast > lastShot {
-				lastShot, last = localLast, localM
+				m := localM
+				lastShot, last = localLast, &m
 			}
 			// Deterministic error selection: the lowest-indexed failing
 			// shot wins, regardless of which worker saw it first.
@@ -292,6 +385,9 @@ const trialSeedStride = 6151
 // `windows` decode windows with fault injection, and report whether the
 // final Z readout flipped. A panic inside the backend is converted into
 // an error naming the trial and its seed.
+//
+// It builds a fresh backend per trial — the reference implementation the
+// reusable MemoryRunner is tested against (TestMemoryRunnerMatchesFresh).
 func memoryTrial(d int, p float64, windows int, trialSeed int64, fcfg faults.Config) (fail bool, tot faults.Totals, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -324,26 +420,101 @@ func memoryTrial(d int, p float64, windows int, trialSeed int64, fcfg faults.Con
 	return b.MeasureProduct(pr), inj.Totals(), nil
 }
 
-// LogicalErrorRate measures the per-window logical X-error rate of a
-// single-patch quantum memory at distance d and physical error rate p, by
-// direct simulation of the backend: prepare |0_L>, run `windows` decode
-// windows, and count readout flips. This is the standard threshold
-// experiment; internal/sweep.ThresholdStudy sweeps it across distances.
-// Trials are independent simulations with per-trial seeds, so they run
-// across GOMAXPROCS workers; the returned rate is a pure count and thus
-// identical to the serial loop's regardless of scheduling. Canceling ctx
-// aborts between trials with the context's error.
-func LogicalErrorRate(ctx context.Context, d int, p float64, windows, trials int, seed int64) (float64, error) {
-	rate, _, err := LogicalErrorRateFaults(ctx, d, p, windows, trials, seed, faults.Config{})
-	return rate, err
+// MemoryRunner holds the reusable state of one threshold-experiment
+// worker: a single-patch backend, a fault injector, and the readout
+// product. Trial rewinds them to the trial's derived seed, and the
+// backend Reset contract makes the result bit-identical to a freshly
+// built backend's — so trials are independent of which runner executes
+// them, and the steady-state trial loop is allocation-free.
+type MemoryRunner struct {
+	d    int
+	b    *microarch.Backend
+	inj  *faults.Injector
+	fcfg faults.Config
+	pr   pauli.Product
 }
 
-// LogicalErrorRateFaults is LogicalErrorRate under an injected fault
-// environment; it additionally returns the fault totals summed across all
-// trials (an integer reduction, so deterministic under any scheduling).
-// This is the probe behind the degradation curves: logical error rate
-// versus injected decoder-stall or link-corruption rate.
-func LogicalErrorRateFaults(ctx context.Context, d int, p float64, windows, trials int, seed int64, fcfg faults.Config) (float64, faults.Totals, error) {
+// NewMemoryRunner builds a runner for a distance-d memory patch at
+// physical error rate p under the fault environment fcfg (zero value:
+// no injection).
+func NewMemoryRunner(d int, p float64, fcfg faults.Config) *MemoryRunner {
+	b := microarch.NewBackend(surface.NewPPRLayout(1, d), p, 0, true)
+	return &MemoryRunner{
+		d:    d,
+		b:    b,
+		inj:  faults.NewInjector(fcfg, 0),
+		fcfg: fcfg,
+		pr:   pauli.NewProduct(b.NumLQ()),
+	}
+}
+
+// SetPhysError retargets the runner to a new physical error rate; sweep
+// grids reuse one runner across their error-rate cells.
+func (r *MemoryRunner) SetPhysError(p float64) { r.b.SetPhysError(p) }
+
+// SetFaults swaps the fault environment. The injector's schedule is
+// reseeded at every trial, so the swap only matters for the config.
+func (r *MemoryRunner) SetFaults(fcfg faults.Config) {
+	if fcfg == r.fcfg {
+		return
+	}
+	r.fcfg = fcfg
+	r.inj = faults.NewInjector(fcfg, 0)
+}
+
+// Trial runs one threshold-experiment trial at the given derived seed,
+// reproducing memoryTrial's fresh-construction result exactly.
+func (r *MemoryRunner) Trial(windows int, trialSeed int64) (fail bool, tot faults.Totals, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("core: memory trial panicked: %v (replay with seed %d)", rec, trialSeed)
+		}
+	}()
+	b := r.b
+	b.Reset(trialSeed)
+	r.inj.Reset(trialSeed)
+	b.PrepareZero(0)
+	for w := 0; w < windows; w++ {
+		for rd := 0; rd < r.d; rd++ {
+			b.InjectRoundNoise()
+			if r.inj.Round().DropEvents {
+				b.DropNextRoundEvents()
+			}
+			b.MeasureSyndromesRound(rd == r.d-1)
+		}
+		wd := b.FinishWindow()
+		wo := r.inj.Window(microarch.DecodeWindowCycles(decoder.SchemePriority, r.d, wd), r.d)
+		for i := 0; i < wo.BackpressureRounds; i++ {
+			b.InjectRoundNoise()
+		}
+	}
+	for q := range r.pr.Ops {
+		r.pr.Ops[q] = pauli.I
+	}
+	r.pr.Phase = 0
+	r.pr.Ops[0] = pauli.Z
+	return b.MeasureProduct(r.pr), r.inj.Totals(), nil
+}
+
+// MemoryExperiment is a reusable worker pool of MemoryRunners for one
+// code distance. Grid sweeps hold one experiment per distance and call
+// ErrorRate per cell: the backends, tableaus, and layouts are built once
+// and retargeted in place (SetPhysError/SetFaults), which is where the
+// threshold-study allocation reduction comes from.
+type MemoryExperiment struct {
+	d       int
+	runners []*MemoryRunner
+}
+
+// NewMemoryExperiment builds an empty pool for distance d; runners are
+// created lazily, one per worker, on the first ErrorRate call.
+func NewMemoryExperiment(d int) *MemoryExperiment { return &MemoryExperiment{d: d} }
+
+// ErrorRate measures the logical error rate of one (p, fcfg) cell over
+// `trials` trials with per-trial derived seeds, exactly as
+// LogicalErrorRateFaults reports it. The experiment must not be used
+// from multiple goroutines at once (it parallelizes internally).
+func (e *MemoryExperiment) ErrorRate(ctx context.Context, p float64, windows, trials int, seed int64, fcfg faults.Config) (float64, faults.Totals, error) {
 	if err := fcfg.Validate(); err != nil {
 		return 0, faults.Totals{}, err
 	}
@@ -354,6 +525,13 @@ func LogicalErrorRateFaults(ctx context.Context, d int, p float64, windows, tria
 	if workers > trials {
 		workers = trials
 	}
+	for len(e.runners) < workers {
+		e.runners = append(e.runners, NewMemoryRunner(e.d, p, fcfg))
+	}
+	for _, r := range e.runners {
+		r.SetPhysError(p)
+		r.SetFaults(fcfg)
+	}
 	var (
 		mu          sync.Mutex
 		firstErr    error
@@ -363,6 +541,7 @@ func LogicalErrorRateFaults(ctx context.Context, d int, p float64, windows, tria
 		wg          sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
+		runner := e.runners[w]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -380,7 +559,7 @@ func LogicalErrorRateFaults(ctx context.Context, d int, p float64, windows, tria
 					}
 					break
 				}
-				fail, tot, err := memoryTrial(d, p, windows, seed+int64(t)*trialSeedStride, fcfg)
+				fail, tot, err := runner.Trial(windows, seed+int64(t)*trialSeedStride)
 				if err != nil {
 					if t < localErrIdx {
 						localErr, localErrIdx = err, t
@@ -405,4 +584,27 @@ func LogicalErrorRateFaults(ctx context.Context, d int, p float64, windows, tria
 		return 0, faults.Totals{}, firstErr
 	}
 	return float64(fails.Load()) / float64(trials), faultSum, nil
+}
+
+// LogicalErrorRate measures the per-window logical X-error rate of a
+// single-patch quantum memory at distance d and physical error rate p, by
+// direct simulation of the backend: prepare |0_L>, run `windows` decode
+// windows, and count readout flips. This is the standard threshold
+// experiment; internal/sweep.ThresholdStudy sweeps it across distances.
+// Trials are independent simulations with per-trial seeds, so they run
+// across GOMAXPROCS workers; the returned rate is a pure count and thus
+// identical to the serial loop's regardless of scheduling. Canceling ctx
+// aborts between trials with the context's error.
+func LogicalErrorRate(ctx context.Context, d int, p float64, windows, trials int, seed int64) (float64, error) {
+	rate, _, err := LogicalErrorRateFaults(ctx, d, p, windows, trials, seed, faults.Config{})
+	return rate, err
+}
+
+// LogicalErrorRateFaults is LogicalErrorRate under an injected fault
+// environment; it additionally returns the fault totals summed across all
+// trials (an integer reduction, so deterministic under any scheduling).
+// This is the probe behind the degradation curves: logical error rate
+// versus injected decoder-stall or link-corruption rate.
+func LogicalErrorRateFaults(ctx context.Context, d int, p float64, windows, trials int, seed int64, fcfg faults.Config) (float64, faults.Totals, error) {
+	return NewMemoryExperiment(d).ErrorRate(ctx, p, windows, trials, seed, fcfg)
 }

@@ -207,6 +207,22 @@ func NewInjector(cfg Config, seed int64) *Injector {
 	return &Injector{cfg: cfg, rng: xrand.New(seed + seedStream)}
 }
 
+// Reset rewinds the injector to the state NewInjector(cfg, seed) would
+// return: totals cleared, backlog drained, and the dedicated stream
+// reseeded. Nil-safe, so fault-free runs can call it unconditionally. It
+// is the scratch-reuse hook for shot loops that replay many seeds through
+// one injector; a reset injector reproduces a fresh one's schedule
+// bit-for-bit.
+func (in *Injector) Reset(seed int64) {
+	if in == nil {
+		return
+	}
+	in.rng.Seed(seed + seedStream)
+	in.backlog = 0
+	in.pendingDrops = 0
+	in.totals = Totals{}
+}
+
 // Round draws the link-fault outcome for one syndrome round and consumes
 // one scheduled overflow drop, if any. Nil-safe.
 func (in *Injector) Round() RoundOutcome {

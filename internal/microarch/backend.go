@@ -36,10 +36,20 @@ type Backend struct {
 	Layout *surface.PPRLayout
 	Code   surface.Code
 
-	// tab covers the data qubits of the logical-qubit blocks
-	// ((nLQ+2) * d^2 qubits); nil in scaling mode, where only error
-	// frames and syndromes are simulated.
+	// tab covers, for each logical-qubit block (nLQ+2 of them), the cross
+	// of the canonical logical-Z and logical-X supports (tabBlock = 2d-1
+	// sites per block). The remaining sites of a block are only ever reset
+	// or Hadamard-ed — never entangled and never part of a measured
+	// product — so they cannot influence any outcome and are not tracked.
+	// nil in scaling mode, where only error frames and syndromes are
+	// simulated.
 	tab *stab.Tableau
+	// tabBlock is the tracked sites per block; tabOff maps a compact
+	// tableau index (mod tabBlock) to its patch-local site offset
+	// (row*d+col); tabIdx is the inverse (-1 for untracked sites).
+	tabBlock int
+	tabOff   []int
+	tabIdx   []int
 
 	// errFrame and pfFrame cover the data qubits of every patch
 	// (numPatches * d^2), indexed patch*d*d + row*d + col.
@@ -66,16 +76,67 @@ type Backend struct {
 	decSc  decoder.Scratch
 	decRes decoder.Result
 
+	// synActive marks patches with a live syndrome baseline; the three
+	// per-patch slabs below are allocated once for every lattice position
+	// and zeroed on (re)activation, so the round loop never allocates.
+	synActive []bool
 	// prevSyn holds the previous round's syndrome per active patch,
 	// indexed by stabilizer template position (regular checks first,
 	// then conditional seam checks).
-	prevSyn map[int][]bool
+	prevSyn [][]bool
 	// eventAcc accumulates detection-event parity over the current
 	// decode window.
-	eventAcc map[int][]bool
+	eventAcc [][]bool
 	// condWasActive tracks seam-check liveness so a check switching on
 	// mid-merge re-baselines instead of firing a stale event.
-	condWasActive map[int][]bool
+	condWasActive [][]bool
+	// Quiet-round fast path: at realistic error rates almost every
+	// patch-round has no new data errors, no measurement-error hit, and an
+	// unchanged check set, in which case the syndrome scan is a provable
+	// no-op and the round costs O(1) per patch (a bulk countdown advance
+	// consuming exactly the trials the per-check scan would).
+	//
+	// chkSig[patch] is the dynamic-state signature the per-patch caches
+	// were computed under; chkList[patch] the resolved active-check list at
+	// that signature (shared across patches via chkLists, keyed by
+	// signature — the templates are patch-independent). cleanPrev[patch]
+	// records that prevSyn equals the noise-free parity for every active
+	// check (no lingering measurement flip to resolve); frameDirty[patch]
+	// that errFrame changed since the last scan.
+	chkSig     []uint32
+	chkEpoch   []uint64
+	chkList    []*checkList
+	chkLists   map[uint32]*checkList
+	cleanPrev  []bool
+	frameDirty []bool
+	// eventCount[patch] is the number of pending detection events in
+	// eventAcc; most windows end with zero, letting FinishWindow skip the
+	// per-basis scans entirely.
+	eventCount []int
+
+	// Reusable measurement scratch (MeasureProductDetail's operator
+	// strings) and noise-site buffer; both grow to their steady-state
+	// capacity within one shot and are reused thereafter.
+	mTqs    []int
+	mTops   []pauli.Pauli
+	mFqs    []int
+	mFops   []pauli.Pauli
+	siteBuf []int
+	// logicalZSup/logicalXSup cache the canonical logical operator
+	// supports (they depend only on the code distance).
+	logicalZSup []surface.Coord
+	logicalXSup []surface.Coord
+	// tabVirgin[lq] records that lq's tableau block has not been touched
+	// since it was last known to be |0...0> (fresh tableau or a completed
+	// PrepareZero). Resetting a virgin block is an exact no-op — every
+	// per-qubit Z measurement is deterministic-false and draws no
+	// randomness — so PrepareZero skips the O(d^2 * n) scan entirely.
+	// Nil in scaling mode (no tableau).
+	tabVirgin []bool
+	// wdMatchesZ/wdMatchesX back the match slices of the WindowDecode
+	// FinishWindow returns; they are valid until the next FinishWindow.
+	wdMatchesZ []decoder.Match
+	wdMatchesX []decoder.Match
 
 	// dropNextRound marks the next syndrome round's detection events as
 	// lost to a fault (buffer overflow or cross-temperature link loss):
@@ -95,18 +156,55 @@ type Backend struct {
 func NewBackend(layout *surface.PPRLayout, p float64, seed int64, functional bool) *Backend {
 	d := layout.Code.D
 	b := &Backend{
-		Layout:        layout,
-		Code:          layout.Code,
-		errFrame:      pauli.NewFrame(layout.NumPatches() * d * d),
-		pfFrame:       pauli.NewFrame(layout.NumPatches() * d * d),
-		dataNoise:     noise.NewModel(p, seed),
-		measNoise:     noise.NewModel(p, seed+1),
-		stabs:         layout.Code.Stabilizers(),
-		condStabs:     layout.Code.ConditionalStabilizers(),
-		prevSyn:       make(map[int][]bool),
-		eventAcc:      make(map[int][]bool),
-		condWasActive: make(map[int][]bool),
+		Layout:    layout,
+		Code:      layout.Code,
+		errFrame:  pauli.NewFrame(layout.NumPatches() * d * d),
+		pfFrame:   pauli.NewFrame(layout.NumPatches() * d * d),
+		dataNoise: noise.NewModel(p, seed),
+		measNoise: noise.NewModel(p, seed+1),
+		stabs:     layout.Code.Stabilizers(),
+		condStabs: layout.Code.ConditionalStabilizers(),
+		siteBuf:   make([]int, 0, d*d),
 	}
+	b.logicalZSup = b.Code.LogicalZ()
+	b.logicalXSup = b.Code.LogicalX()
+	b.tabIdx = make([]int, d*d)
+	for i := range b.tabIdx {
+		b.tabIdx[i] = -1
+	}
+	for _, sup := range [2][]surface.Coord{b.logicalZSup, b.logicalXSup} {
+		for _, c := range sup {
+			if off := c.Row*d + c.Col; b.tabIdx[off] < 0 {
+				b.tabIdx[off] = len(b.tabOff)
+				b.tabOff = append(b.tabOff, off)
+			}
+		}
+	}
+	b.tabBlock = len(b.tabOff)
+	nPatches := layout.NumPatches()
+	total := len(b.stabs) + len(b.condStabs)
+	b.synActive = make([]bool, nPatches)
+	b.prevSyn = make([][]bool, nPatches)
+	b.eventAcc = make([][]bool, nPatches)
+	b.condWasActive = make([][]bool, nPatches)
+	prevSlab := make([]bool, nPatches*total)
+	accSlab := make([]bool, nPatches*total)
+	condSlab := make([]bool, nPatches*len(b.condStabs))
+	for i := 0; i < nPatches; i++ {
+		b.prevSyn[i] = prevSlab[i*total : (i+1)*total : (i+1)*total]
+		b.eventAcc[i] = accSlab[i*total : (i+1)*total : (i+1)*total]
+		b.condWasActive[i] = condSlab[i*len(b.condStabs) : (i+1)*len(b.condStabs) : (i+1)*len(b.condStabs)]
+	}
+	b.chkSig = make([]uint32, nPatches)
+	for i := range b.chkSig {
+		b.chkSig[i] = sigInvalid
+	}
+	b.chkEpoch = make([]uint64, nPatches)
+	b.chkList = make([]*checkList, nPatches)
+	b.chkLists = make(map[uint32]*checkList)
+	b.cleanPrev = make([]bool, nPatches)
+	b.frameDirty = make([]bool, nPatches)
+	b.eventCount = make([]int, nPatches)
 	b.synBM = decoder.NewSyndromeBitmap(layout.Code)
 	b.stabDataIdx = flattenSupports(b.stabs, d)
 	cond := make([]surface.Stabilizer, len(b.condStabs))
@@ -115,7 +213,11 @@ func NewBackend(layout *surface.PPRLayout, p float64, seed int64, functional boo
 	}
 	b.condDataIdx = flattenSupports(cond, d)
 	if functional {
-		b.tab = stab.New((layout.NLQ+2)*d*d, seed+2)
+		b.tab = stab.New((layout.NLQ+2)*b.tabBlock, seed+2)
+		b.tabVirgin = make([]bool, layout.NLQ+2)
+		for i := range b.tabVirgin {
+			b.tabVirgin[i] = true
+		}
 	}
 	return b
 }
@@ -137,10 +239,14 @@ func flattenSupports(stabs []surface.Stabilizer, d int) [][]int {
 func (b *Backend) NumLQ() int { return b.Layout.NLQ + 2 }
 
 // blockIndex maps logical qubit lq's local data coordinate to its tableau
-// index.
+// index. Only canonical logical-operator sites are tracked.
 func (b *Backend) blockIndex(lq int, q surface.Coord) int {
-	d := b.Code.D
-	return lq*d*d + q.Row*d + q.Col
+	k := b.tabIdx[q.Row*b.Code.D+q.Col]
+	if k < 0 {
+		//xqlint:ignore nopanic unreachable guard: callers index with coords from the cached logical supports
+		panic("microarch: coordinate outside the tracked logical supports")
+	}
+	return lq*b.tabBlock + k
 }
 
 // frameIndex maps a patch-local data coordinate to the frame index.
@@ -176,25 +282,132 @@ func (b *Backend) resetPatchFrames(patch int) {
 		b.errFrame.Ops[base+i] = pauli.I
 		b.pfFrame.Ops[base+i] = pauli.I
 	}
+	b.frameDirty[patch] = true
 }
 
 // activatePatch (re)sets the syndrome baseline so no stale detection
 // events fire on the first round after (re)initialization.
 func (b *Backend) activatePatch(patch int) {
-	total := len(b.stabs) + len(b.condStabs)
-	b.prevSyn[patch] = make([]bool, total)
-	b.eventAcc[patch] = make([]bool, total)
-	b.condWasActive[patch] = make([]bool, len(b.condStabs))
+	b.synActive[patch] = true
+	clearBools(b.prevSyn[patch])
+	clearBools(b.eventAcc[patch])
+	clearBools(b.condWasActive[patch])
+	b.cleanPrev[patch] = false // force a full scan to re-establish prev
+	b.eventCount[patch] = 0
+}
+
+// sigInvalid never matches dynSig's packing, forcing a recount.
+const sigInvalid = ^uint32(0)
+
+// dynSig packs the dynamic fields check activity depends on into a
+// comparable word, so a round can detect "check set unchanged" without
+// re-evaluating the mask-generator rules per check.
+func dynSig(dyn surface.Dynamic) uint32 {
+	s := uint32(0)
+	if dyn.ESMOn {
+		s |= 1
+	}
+	if dyn.MergeOn {
+		s |= 2
+	}
+	for i, e := range dyn.ESM {
+		s |= uint32(e) << (4 + 4*uint(i))
+	}
+	return s
+}
+
+// checkList is the set of checks active under one dynamic signature:
+// template indices of the live regular and seam stabilizers, in template
+// order (the order the legacy full scan measured them in, so the
+// measurement-noise stream is unchanged).
+type checkList struct {
+	regular []int32
+	cond    []int32
+	count   int
+}
+
+// checksFor resolves (building and memoizing on first sight) the active
+// check list of a dynamic state. Lists depend only on the stabilizer
+// templates and the signature, so they are shared across patches and
+// survive Reset.
+func (b *Backend) checksFor(sig uint32, dyn surface.Dynamic) *checkList {
+	if cl, ok := b.chkLists[sig]; ok {
+		return cl
+	}
+	cl := &checkList{}
+	for si, st := range b.stabs {
+		if surface.StabilizerActive(b.Code, st, dyn) {
+			cl.regular = append(cl.regular, int32(si))
+		}
+	}
+	for ci, cs := range b.condStabs {
+		if surface.ConditionalActive(cs, dyn) {
+			cl.cond = append(cl.cond, int32(ci))
+		}
+	}
+	cl.count = len(cl.regular) + len(cl.cond)
+	b.chkLists[sig] = cl
+	return cl
+}
+
+func clearBools(s []bool) {
+	for i := range s {
+		s[i] = false
+	}
+}
+
+// Reset restores the backend to the state NewBackend(layout, p, seed,
+// functional) would return — layout re-homed, frames cleared, noise and
+// tableau streams rewound to the new seed — without reallocating. It is
+// the shot-reuse hook: a reset backend reproduces a fresh backend's run
+// bit-for-bit for the same seed, which the shot-equivalence tests pin.
+func (b *Backend) Reset(seed int64) {
+	b.Layout.Reset()
+	for i := range b.errFrame.Ops {
+		b.errFrame.Ops[i] = pauli.I
+		b.pfFrame.Ops[i] = pauli.I
+	}
+	b.dataNoise.Reseed(seed)
+	b.measNoise.Reseed(seed + 1)
+	if b.tab != nil {
+		b.tab.Reinit(seed + 2)
+		for i := range b.tabVirgin {
+			b.tabVirgin[i] = true
+		}
+	}
+	clearBools(b.synActive)
+	clearBools(b.cleanPrev)
+	clearBools(b.frameDirty)
+	for i := range b.chkSig {
+		b.chkSig[i] = sigInvalid
+		b.chkEpoch[i] = 0 // the lattice epoch starts at 1 and only grows
+		b.eventCount[i] = 0
+	}
+	b.dropNextRound = false
+	b.RoundsRun = 0
+	b.LogicalRejects = 0
+}
+
+// SetPhysError retargets both noise models to a new per-site error rate
+// (sweep grids reuse one backend across physical-error cells; pair with
+// Reset for reproducible streams).
+func (b *Backend) SetPhysError(p float64) {
+	b.dataNoise.SetProb(p)
+	b.measNoise.SetProb(p)
 }
 
 // PrepareZero implements ftqc.Machine: initialize logical qubit lq to |0>.
 func (b *Backend) PrepareZero(lq int) {
 	patch := b.patchOf(lq)
-	d := b.Code.D
-	if b.tab != nil {
-		for i := 0; i < d*d; i++ {
-			b.tab.Reset(lq*d*d + i)
+	if b.tab != nil && !b.tabVirgin[lq] {
+		for k := 0; k < b.tabBlock; k++ {
+			b.tab.Reset(lq*b.tabBlock + k)
 		}
+	}
+	if b.tab != nil {
+		// Either the block was already |0...0> or the resets above just put
+		// it there (and disentangled it from everything else).
+		b.tabVirgin[lq] = true
 	}
 	b.resetPatchFrames(patch)
 	b.Layout.EnableESM(patch)
@@ -205,10 +418,10 @@ func (b *Backend) PrepareZero(lq int) {
 func (b *Backend) PreparePlus(lq int) {
 	b.PrepareZero(lq)
 	if b.tab != nil {
-		d := b.Code.D
-		for i := 0; i < d*d; i++ {
-			b.tab.H(lq*d*d + i)
+		for k := 0; k < b.tabBlock; k++ {
+			b.tab.H(lq*b.tabBlock + k)
 		}
+		b.tabVirgin[lq] = false
 	}
 }
 
@@ -228,10 +441,13 @@ func (b *Backend) PrepareResource(lq int, a ftqc.Angle) {
 	}
 	// |+i> = +1 eigenstate of logical Y: measure Y_L on |0_L> and fix the
 	// sign with a logical Z when the -1 branch is drawn.
-	qs, ops := b.logicalOps(lq, pauli.Y)
+	b.tabVirgin[lq] = false
+	qs, ops := b.appendLogicalOps(b.mTqs[:0], b.mTops[:0], lq, pauli.Y)
+	b.mTqs, b.mTops = qs, ops
 	out, _ := b.tab.MeasureProduct(qs, ops)
 	if out {
-		zqs, zops := b.logicalOps(lq, pauli.Z)
+		zqs, zops := b.appendLogicalOps(b.mTqs[:0], b.mTops[:0], lq, pauli.Z)
+		b.mTqs, b.mTops = zqs, zops
 		for i, q := range zqs {
 			b.tab.ApplyPauli(q, zops[i])
 		}
@@ -241,14 +457,22 @@ func (b *Backend) PrepareResource(lq int, a ftqc.Angle) {
 // logicalOps returns the canonical physical operator string of logical
 // X/Y/Z on qubit lq as tableau indices and Pauli factors.
 func (b *Backend) logicalOps(lq int, basis pauli.Pauli) ([]int, []pauli.Pauli) {
-	var qs []int
-	var ops []pauli.Pauli
+	return b.appendLogicalOps(nil, nil, lq, basis)
+}
+
+// appendLogicalOps appends lq's logical operator string to (qs, ops) and
+// returns the extended slices, deduplicating only among the entries it
+// appends (overlapping Z/X supports of a Y string merge via Pauli
+// multiplication, exactly as logicalOps always did). Hot paths pass
+// reusable buffers so per-measurement string building is allocation-free.
+func (b *Backend) appendLogicalOps(qs []int, ops []pauli.Pauli, lq int, basis pauli.Pauli) ([]int, []pauli.Pauli) {
+	start := len(qs)
 	add := func(coords []surface.Coord, p pauli.Pauli) {
 		for _, c := range coords {
 			idx := b.blockIndex(lq, c)
 			found := false
-			for i, q := range qs {
-				if q == idx {
+			for i := start; i < len(qs); i++ {
+				if qs[i] == idx {
 					ops[i] = ops[i].Mul(p)
 					found = true
 					break
@@ -265,12 +489,12 @@ func (b *Backend) logicalOps(lq int, basis pauli.Pauli) ([]int, []pauli.Pauli) {
 		// Identity basis: empty product, measured trivially below. No
 		// caller requests it; kept explicit for ISA exhaustiveness.
 	case pauli.Z:
-		add(b.Code.LogicalZ(), pauli.Z)
+		add(b.logicalZSup, pauli.Z)
 	case pauli.X:
-		add(b.Code.LogicalX(), pauli.X)
+		add(b.logicalXSup, pauli.X)
 	case pauli.Y:
-		add(b.Code.LogicalZ(), pauli.Z)
-		add(b.Code.LogicalX(), pauli.X)
+		add(b.logicalZSup, pauli.Z)
+		add(b.logicalXSup, pauli.X)
 	}
 	return qs, ops
 }
@@ -283,7 +507,7 @@ func (b *Backend) logicalFrameString(lq int, basis pauli.Pauli) ([]int, []pauli.
 	d := b.Code.D
 	out := make([]int, len(qs))
 	for i, q := range qs {
-		out[i] = patch*d*d + q%(d*d)
+		out[i] = patch*d*d + b.tabOff[q%b.tabBlock]
 	}
 	return out, ops
 }
@@ -319,24 +543,28 @@ func (b *Backend) MeasureProductDetail(pr pauli.Product, extraFramePatches []int
 		//xqlint:ignore nopanic unreachable guard: the pipeline builds products over exactly NumLQ qubits
 		panic("microarch: product width mismatch")
 	}
-	var tqs []int
-	var tops []pauli.Pauli
-	var fqs []int
-	var fops []pauli.Pauli
+	d := b.Code.D
+	tqs, tops := b.mTqs[:0], b.mTops[:0]
+	fqs, fops := b.mFqs[:0], b.mFops[:0]
 	for lq, p := range pr.Ops {
 		if p == pauli.I {
 			continue
 		}
-		qs, ops := b.logicalOps(lq, p)
-		tqs = append(tqs, qs...)
-		tops = append(tops, ops...)
-		gqs, gops := b.logicalFrameString(lq, p)
-		fqs = append(fqs, gqs...)
-		fops = append(fops, gops...)
+		if b.tab != nil {
+			b.tabVirgin[lq] = false
+		}
+		start := len(tqs)
+		tqs, tops = b.appendLogicalOps(tqs, tops, lq, p)
+		// The frame string is the same operator string re-indexed onto
+		// lq's patch (logicalFrameString, inlined over the scratch).
+		patch := b.patchOf(lq)
+		for i := start; i < len(tqs); i++ {
+			fqs = append(fqs, patch*d*d+b.tabOff[tqs[i]%b.tabBlock])
+			fops = append(fops, tops[i])
+		}
 	}
 	// Pass-through sensitivity: a Z-type string through each intermediate
 	// routing patch of the merge (the correlation surface crossing it).
-	d := b.Code.D
 	for _, patch := range extraFramePatches {
 		col := d / 2
 		for row := 0; row < d; row++ {
@@ -344,6 +572,7 @@ func (b *Backend) MeasureProductDetail(pr pauli.Product, extraFramePatches []int
 			fops = append(fops, pauli.Z)
 		}
 	}
+	b.mTqs, b.mTops, b.mFqs, b.mFops = tqs, tops, fqs, fops
 	ideal := false
 	if b.tab != nil {
 		ideal, _ = b.tab.MeasureProduct(tqs, tops)
@@ -359,11 +588,15 @@ func (b *Backend) InjectRoundNoise() {
 	d := b.Code.D
 	for _, patch := range b.Layout.ActiveESMPatches() {
 		base := patch * d * d
-		for _, i := range b.dataNoise.SampleSites(d * d) {
+		b.siteBuf = b.dataNoise.AppendSites(b.siteBuf[:0], d*d)
+		for _, i := range b.siteBuf {
 			b.errFrame.Ops[base+i] ^= pauli.X
+			b.frameDirty[patch] = true
 		}
-		for _, i := range b.dataNoise.SampleSites(d * d) {
+		b.siteBuf = b.dataNoise.AppendSites(b.siteBuf[:0], d*d)
+		for _, i := range b.siteBuf {
 			b.errFrame.Ops[base+i] ^= pauli.Z
+			b.frameDirty[patch] = true
 		}
 	}
 }
@@ -395,15 +628,49 @@ func (b *Backend) MeasureSyndromesRound(final bool) int {
 	measured := 0
 	dropped := b.dropNextRound
 	b.dropNextRound = false
+	epoch := b.Layout.ESMEpoch()
 	for _, patch := range b.Layout.ActiveESMPatches() {
-		prev, ok := b.prevSyn[patch]
-		if !ok {
+		if !b.synActive[patch] {
 			b.activatePatch(patch)
-			prev = b.prevSyn[patch]
 		}
+		if b.chkEpoch[patch] != epoch {
+			b.chkEpoch[patch] = epoch
+			dyn := b.Layout.Patch(patch).Dynamic
+			if sig := dynSig(dyn); sig != b.chkSig[patch] {
+				b.chkSig[patch] = sig
+				b.chkList[patch] = b.checksFor(sig, dyn)
+				b.cleanPrev[patch] = false // the active set may have changed
+				// Seam checks that just went inactive re-baseline on their
+				// next activation (the legacy full scan cleared these every
+				// round; clearing on the transition is equivalent because
+				// wasActive is only read while active).
+				was := b.condWasActive[patch]
+				j := 0
+				for ci := range was {
+					if j < len(b.chkList[patch].cond) && int(b.chkList[patch].cond[j]) == ci {
+						j++
+						continue
+					}
+					was[ci] = false
+				}
+			}
+		}
+		cl := b.chkList[patch]
+		// Quiet-round fast path: prev equals the noise-free parity, the
+		// frame has not changed, and the check set is the same, so the scan
+		// below cannot fire an event or change prev. All that remains is
+		// consuming the round's measurement-noise trials; TryAdvance does
+		// that in bulk iff none hits, drawing the exact per-check stream.
+		if b.cleanPrev[patch] && !b.frameDirty[patch] {
+			if final || b.measNoise.TryAdvance(cl.count) {
+				measured += cl.count
+				continue
+			}
+		}
+		prev := b.prevSyn[patch]
 		acc := b.eventAcc[patch]
-		dyn := b.Layout.Patch(patch).Dynamic
 		base := patch * d * d
+		measHit := false
 		parityOf := func(basis pauli.Pauli, idx []int) bool {
 			par := false
 			for _, q := range idx {
@@ -414,16 +681,20 @@ func (b *Backend) MeasureSyndromesRound(final bool) int {
 			}
 			if !final && b.measNoise.Hit() {
 				par = !par
+				measHit = true
 			}
 			return par
 		}
-		for si, st := range b.stabs {
-			if !surface.StabilizerActive(b.Code, st, dyn) {
-				continue
-			}
-			par := parityOf(st.Basis, b.stabDataIdx[si])
+		for _, si32 := range cl.regular {
+			si := int(si32)
+			par := parityOf(b.stabs[si].Basis, b.stabDataIdx[si])
 			if par != prev[si] && !dropped {
 				acc[si] = !acc[si]
+				if acc[si] {
+					b.eventCount[patch]++
+				} else {
+					b.eventCount[patch]--
+				}
 			}
 			prev[si] = par
 			measured++
@@ -431,20 +702,26 @@ func (b *Backend) MeasureSyndromesRound(final bool) int {
 		// Seam checks: only while their side is a Z&X seam; re-baseline
 		// on activation.
 		wasActive := b.condWasActive[patch]
-		for ci, cs := range b.condStabs {
+		for _, ci32 := range cl.cond {
+			ci := int(ci32)
 			si := len(b.stabs) + ci
-			if !surface.ConditionalActive(cs, dyn) {
-				wasActive[ci] = false
-				continue
-			}
-			par := parityOf(cs.Basis, b.condDataIdx[ci])
+			par := parityOf(b.condStabs[ci].Basis, b.condDataIdx[ci])
 			if wasActive[ci] && par != prev[si] && !dropped {
 				acc[si] = !acc[si]
+				if acc[si] {
+					b.eventCount[patch]++
+				} else {
+					b.eventCount[patch]--
+				}
 			}
 			prev[si] = par
 			wasActive[ci] = true
 			measured++
 		}
+		// prev is now synced to the measured parity: clean unless a
+		// measurement flip left it disagreeing with the frame's truth.
+		b.cleanPrev[patch] = !measHit
+		b.frameDirty[patch] = false
 	}
 	b.RoundsRun++
 	return measured
@@ -473,27 +750,44 @@ func (w WindowDecode) Matches() []decoder.Match {
 
 // FinishWindow decodes the accumulated detection events of every active
 // patch and folds the identified errors into the estimate frame. The
-// event accumulators reset for the next window.
+// event accumulators reset for the next window. The returned value's
+// match slices are backed by reusable buffers and stay valid only until
+// the next FinishWindow on this backend; callers that retain them across
+// windows must copy.
 func (b *Backend) FinishWindow() WindowDecode {
 	var out WindowDecode
+	out.MatchesZ = b.wdMatchesZ[:0]
+	out.MatchesX = b.wdMatchesX[:0]
 	for _, patch := range b.Layout.ActiveESMPatches() {
-		acc, ok := b.eventAcc[patch]
-		if !ok {
+		if !b.synActive[patch] {
 			continue
 		}
+		acc := b.eventAcc[patch]
 		out.Windows++
 		out.ActiveCells += len(b.stabs)
+		cl := b.chkList[patch]
+		if cl == nil || b.eventCount[patch] == 0 {
+			// No syndrome round has run on this patch yet, or the window
+			// ended with every accumulator clear; only the window
+			// bookkeeping above applies.
+			continue
+		}
+		b.eventCount[patch] = 0 // everything pending is consumed below
 
 		// Seam-check events: counted into the decode load (one short
 		// boundary-matched token each — the cross-patch pairing itself is
 		// subsumed by the joint logical measurement; see DESIGN.md §5),
-		// but they contribute no per-patch corrections.
-		for ci, cs := range b.condStabs {
+		// but they contribute no per-patch corrections. Events can only be
+		// pending for checks active during the window's rounds, so the
+		// cached active list covers every set accumulator.
+		for _, ci32 := range cl.cond {
+			ci := int(ci32)
 			si := len(b.stabs) + ci
 			if !acc[si] {
 				continue
 			}
 			out.Syndromes++
+			cs := b.condStabs[ci]
 			m := decoder.Match{From: cs.Anc, ToBoundary: true, Steps: 1}
 			if cs.Basis == pauli.Z {
 				out.MatchesZ = append(out.MatchesZ, m)
@@ -503,12 +797,13 @@ func (b *Backend) FinishWindow() WindowDecode {
 			acc[si] = false
 		}
 		for _, basis := range [2]pauli.Pauli{pauli.Z, pauli.X} {
-			// Bit-pack the window's detection events; the template scan
+			// Bit-pack the window's detection events; the ascending scan
 			// fills the bitmap in the hardware's row-major cell order.
 			b.synBM.Reset()
 			nontrivial := 0
-			for si, st := range b.stabs {
-				if st.Basis == basis && acc[si] {
+			for _, si32 := range cl.regular {
+				si := int(si32)
+				if st := &b.stabs[si]; st.Basis == basis && acc[si] {
 					b.synBM.Set(st.Anc)
 					nontrivial++
 				}
@@ -534,10 +829,12 @@ func (b *Backend) FinishWindow() WindowDecode {
 				b.pfFrame.Ops[b.frameIndex(patch, q)] ^= errType
 			}
 		}
-		for si := range b.stabs {
-			acc[si] = false
+		for _, si32 := range cl.regular {
+			acc[si32] = false
 		}
 	}
+	b.wdMatchesZ = out.MatchesZ
+	b.wdMatchesX = out.MatchesX
 	return out
 }
 
@@ -566,8 +863,7 @@ func (b *Backend) MeasureIntermediates(region []int) int {
 			continue
 		}
 		b.resetPatchFrames(patch)
-		delete(b.prevSyn, patch)
-		delete(b.eventAcc, patch)
+		b.synActive[patch] = false
 		count++
 	}
 	return count
@@ -581,14 +877,9 @@ func (b *Backend) DiscardLogical(lq int) {
 		return
 	}
 	b.resetPatchFrames(patch)
-	delete(b.prevSyn, patch)
-	delete(b.eventAcc, patch)
+	b.synActive[patch] = false
 	b.Layout.UnmapLogical(lq)
-	p := b.Layout.Patch(patch)
-	p.Dynamic.ESMOn = false
-	for s := surface.Left; s <= surface.Bottom; s++ {
-		p.Dynamic.ESM[s] = surface.ESMNone
-	}
+	b.Layout.DisableESM(patch)
 }
 
 // InjectLogicalError deterministically applies a physical error chain that
@@ -596,7 +887,9 @@ func (b *Backend) DiscardLogical(lq int) {
 // logical operator string written into the truth frame.
 func (b *Backend) InjectLogicalError(lq int, basis pauli.Pauli) {
 	qs, ops := b.logicalFrameString(lq, basis)
+	d := b.Code.D
 	for i, q := range qs {
 		b.errFrame.Ops[q] ^= ops[i]
+		b.frameDirty[q/(d*d)] = true
 	}
 }

@@ -38,7 +38,7 @@ func TestLMUMatchesProtocolOracle(t *testing.T) {
 		pl := runProgram(t, circ.NLQ, 3, res.Program, int64(s)*311+5)
 		key := 0
 		for q, m := range res.FinalMreg {
-			if pl.M.MregFile[uint16(m)] {
+			if pl.M.MregFile.Get(uint16(m)) {
 				key |= 1 << uint(q)
 			}
 		}
@@ -99,7 +99,7 @@ func TestByproductRegisterAcrossPPRs(t *testing.T) {
 	ones := 0.0
 	for s := 0; s < shots; s++ {
 		pl := runProgram(t, 1, 3, res.Program, int64(s)*131+3)
-		if pl.M.MregFile[0] {
+		if pl.M.MregFile.Get(0) {
 			ones++
 		}
 	}
@@ -126,7 +126,7 @@ func TestQIDGroupingMultiWindow(t *testing.T) {
 	pl := runProgram(t, 18, 3, res.Program, 9)
 	// All finals present.
 	for q := 0; q < 18; q++ {
-		if _, ok := pl.M.MregFile[uint16(q)]; !ok {
+		if _, ok := pl.M.MregFile.Lookup(uint16(q)); !ok {
 			t.Fatalf("final readout %d missing", q)
 		}
 	}

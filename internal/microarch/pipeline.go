@@ -74,8 +74,10 @@ type Metrics struct {
 	// injection.
 	Faults faults.Totals
 
-	// MregFile is the measurement register file after the run.
-	MregFile map[uint16]bool
+	// MregFile is the measurement register file after the run (a dense
+	// bitset register file, so Metrics is a plain value that zeroes on
+	// reset without reallocating).
+	MregFile MregFile
 }
 
 // transfer records src->dst payload bits.
@@ -132,9 +134,17 @@ type Pipeline struct {
 	pauliListReg pauli.Product // Pauli_list_reg: the PPR's product
 
 	// Merge bookkeeping between MERGE_INFO and PPM_INTERPRET.
+	// mergeResults is consumed FIFO via mergeHead so the backing array
+	// survives shot-to-shot reuse.
 	pendingProducts []pauli.Product
 	pendingRegion   map[int]bool
 	mergeResults    []mergeResult
+	mergeHead       int
+
+	// lqmScratch is the reusable single-op product of logical
+	// measurements (execLQM builds one per target; reusing it keeps the
+	// steady-state shot loop allocation-free).
+	lqmScratch pauli.Product
 
 	// Optional per-instruction trace (EnableTrace).
 	traceOn bool
@@ -164,11 +174,40 @@ func NewPipeline(layout *surface.PPRLayout, cfg Config) *Pipeline {
 		B:             NewBackend(layout, cfg.PhysError, cfg.Seed, cfg.Functional),
 		nLQ:           layout.NLQ + 2,
 		byproduct:     pauli.NewProduct(layout.NLQ + 2),
+		pauliListReg:  pauli.NewProduct(layout.NLQ + 2),
+		lqmScratch:    pauli.NewProduct(layout.NLQ + 2),
 		pendingRegion: make(map[int]bool),
 		inj:           faults.NewInjector(cfg.Faults, cfg.Seed),
 	}
-	p.M.MregFile = make(map[uint16]bool)
 	return p
+}
+
+// Reset rewinds the pipeline to the state NewPipeline would hand back for
+// a config whose Seed is seed, reusing every allocation: metrics zeroed,
+// architectural registers cleared, the backend's layout/frames/streams
+// re-homed, and the fault injector reseeded. This is the shot-reuse
+// determinism contract — Reset(s) followed by RunCompiled/RunCtx
+// reproduces a fresh pipeline's run for seed s bit-for-bit (pinned by
+// TestPipelineResetMatchesFresh).
+func (p *Pipeline) Reset(seed int64) {
+	p.Cfg.Seed = seed
+	p.M = Metrics{}
+	for q := range p.byproduct.Ops {
+		p.byproduct.Ops[q] = pauli.I
+		p.pauliListReg.Ops[q] = pauli.I
+		p.lqmScratch.Ops[q] = pauli.I
+	}
+	p.byproduct.Phase = 0
+	p.pauliListReg.Phase = 0
+	p.lqmScratch.Phase = 0
+	p.condSlots = p.condSlots[:0]
+	p.pendingProducts = p.pendingProducts[:0]
+	clear(p.pendingRegion)
+	p.mergeResults = p.mergeResults[:0]
+	p.mergeHead = 0
+	p.trace = p.trace[:0]
+	p.inj.Reset(seed)
+	p.B.Reset(seed)
 }
 
 // roundNs is the wall-clock duration of one ESM round.
@@ -465,7 +504,11 @@ func (p *Pipeline) execRunESM() {
 
 	// Window decode: EDU cells match, PFU folds in the corrections.
 	wd := p.B.FinishWindow()
-	for _, m := range wd.Matches() {
+	for _, m := range wd.MatchesZ {
+		p.M.MatchesSum++
+		p.M.MatchStepsSum += m.Steps
+	}
+	for _, m := range wd.MatchesX {
 		p.M.MatchesSum++
 		p.M.MatchStepsSum += m.Steps
 	}
@@ -501,7 +544,7 @@ func (p *Pipeline) execRunESM() {
 			corrected, _, _ := p.B.MeasureProductDetail(pr, intmd)
 			p.mergeResults = append(p.mergeResults, mergeResult{product: pr, corrected: corrected})
 		}
-		p.pendingProducts = nil
+		p.pendingProducts = p.pendingProducts[:0]
 	}
 }
 
@@ -538,7 +581,9 @@ func DecodeWindowCycles(scheme decoder.Scheme, d int, wd WindowDecode) uint64 {
 	}
 	switch scheme {
 	case decoder.SchemeRoundRobin:
-		return uint64(d*wd.ActiveCells + spikes(wd.Matches()))
+		// spikes is additive over matches, so summing the two bases equals
+		// spiking the combined slice without materializing it.
+		return uint64(d*wd.ActiveCells + spikes(wd.MatchesZ) + spikes(wd.MatchesX))
 	case decoder.SchemePriority:
 		z, x := perBasis(wd.MatchesZ), perBasis(wd.MatchesX)
 		if z > x {
@@ -566,11 +611,11 @@ func angleOf(f isa.MeasFlag) ftqc.Angle {
 func (p *Pipeline) execInterpret(group []isa.Instr) error {
 	in := group[0]
 	pr := p.groupProduct(group)
-	if len(p.mergeResults) == 0 {
+	if p.mergeHead >= len(p.mergeResults) {
 		return fmt.Errorf("microarch: PPM_INTERPRET without a recorded merge outcome")
 	}
-	res := p.mergeResults[0]
-	p.mergeResults = p.mergeResults[1:]
+	res := p.mergeResults[p.mergeHead]
+	p.mergeHead++
 	if res.product.String() != pr.String() {
 		return fmt.Errorf("microarch: PPM_INTERPRET product %v does not match recorded merge %v", pr, res.product)
 	}
@@ -583,10 +628,11 @@ func (p *Pipeline) execInterpret(group []isa.Instr) error {
 	if in.Flags&isa.FlagInvert != 0 {
 		value = !value
 	}
-	p.M.MregFile[in.MregDst] = value
+	p.M.MregFile.Set(in.MregDst, value)
 	if in.Flags&isa.FlagCondStore != 0 {
 		if len(p.condSlots) == 0 {
-			p.pauliListReg = pr.Clone()
+			copy(p.pauliListReg.Ops, pr.Ops)
+			p.pauliListReg.Phase = pr.Phase
 		}
 		p.condSlots = append(p.condSlots, value)
 	}
@@ -622,17 +668,18 @@ func (p *Pipeline) execLQM(in isa.Instr) error {
 			// The opcode dispatcher routes only the LQM family here.
 		}
 
-		pr := pauli.NewProduct(p.nLQ)
+		pr := p.lqmScratch
 		pr.Ops[t.LQ] = basis
 		corrected, _, _ := p.B.MeasureProductDetail(pr, nil)
 		value := corrected
 		if !p.byproduct.Commutes(pr) {
 			value = !value
 		}
+		pr.Ops[t.LQ] = pauli.I
 		if in.Flags&isa.FlagInvert != 0 {
 			value = !value
 		}
-		p.M.MregFile[in.MregDst] = value
+		p.M.MregFile.Set(in.MregDst, value)
 		if in.Flags&isa.FlagCondStore != 0 {
 			p.condSlots = append(p.condSlots, value)
 		}

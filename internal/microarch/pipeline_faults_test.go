@@ -53,11 +53,11 @@ func TestPipelineFaultDeterminism(t *testing.T) {
 		t.Fatalf("same seed, different decode cycles: %d/%d vs %d/%d",
 			a.M.DecodeCyclesSum, a.M.DecodeCyclesMax, b.M.DecodeCyclesSum, b.M.DecodeCyclesMax)
 	}
-	for reg, val := range a.M.MregFile {
-		if b.M.MregFile[reg] != val {
+	a.M.MregFile.Range(func(reg uint16, val bool) {
+		if b.M.MregFile.Get(reg) != val {
 			t.Fatalf("same seed, different readout in mreg %d", reg)
 		}
-	}
+	})
 }
 
 func TestPipelineStallFaultsSlowDecode(t *testing.T) {

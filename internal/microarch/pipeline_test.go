@@ -41,7 +41,7 @@ func runShots(t *testing.T, circ compiler.Circuit, d int, p float64, shots int, 
 		}
 		key := 0
 		for q, mreg := range res.FinalMreg {
-			if pl.M.MregFile[uint16(mreg)] {
+			if pl.M.MregFile.Get(uint16(mreg)) {
 				key |= 1 << uint(q)
 			}
 		}
@@ -90,20 +90,20 @@ func TestPipelineDeterministicWithSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run := func() (map[uint16]bool, Metrics) {
+	run := func() Metrics {
 		pl := NewPipeline(surface.NewPPRLayout(circ.NLQ, 3), testConfig(3, 0.001, 42))
 		if err := pl.Run(res.Program); err != nil {
 			t.Fatal(err)
 		}
-		return pl.M.MregFile, pl.M
+		return pl.M
 	}
-	m1, s1 := run()
-	m2, s2 := run()
-	for k, v := range m1 {
-		if m2[k] != v {
+	s1 := run()
+	s2 := run()
+	s1.MregFile.Range(func(k uint16, v bool) {
+		if s2.MregFile.Get(k) != v {
 			t.Fatalf("mreg %d differs", k)
 		}
-	}
+	})
 	if s1.ESMRounds != s2.ESMRounds || s1.DecodeCyclesSum != s2.DecodeCyclesSum {
 		t.Fatal("metrics not deterministic")
 	}

@@ -17,11 +17,19 @@ import (
 )
 
 // Model is a sparse Bernoulli sampler with a fixed per-site probability.
+// All entry points (AppendSites, Hit, CountHits) consume trials from one
+// geometric countdown that carries across calls, so the number of random
+// draws is proportional to the number of *hits*, not the number of trials
+// — a Hit() in a syndrome round costs a decrement, not a Float64.
 type Model struct {
 	P   float64
 	rng *xrand.Rand
 	// lnq caches ln(1-p) for geometric skipping.
 	lnq float64
+	// gap is the number of misses remaining before the next hit; -1 means
+	// the countdown has not been drawn yet (fresh model, reseed, or
+	// probability change).
+	gap int
 }
 
 // NewModel returns a sampler with per-site error probability p.
@@ -30,7 +38,7 @@ func NewModel(p float64, seed int64) *Model {
 		//xqlint:ignore nopanic constructor precondition: p comes from config constants and sweep grids in [0,1)
 		panic("noise: probability out of range")
 	}
-	m := &Model{P: p, rng: xrand.New(seed)}
+	m := &Model{P: p, rng: xrand.New(seed), gap: -1}
 	if p > 0 {
 		m.lnq = math.Log(1 - p)
 	}
@@ -40,23 +48,93 @@ func NewModel(p float64, seed int64) *Model {
 // SampleSites returns the indices in [0, n) hit by an error this round,
 // in increasing order. The expected cost is O(n*p + 1).
 func (m *Model) SampleSites(n int) []int {
+	return m.AppendSites(nil, n)
+}
+
+// AppendSites appends the indices in [0, n) hit by an error this round to
+// dst (in increasing order) and returns the extended slice. It draws the
+// exact random stream SampleSites would, so callers can reuse one buffer
+// across rounds without changing any sampled outcome. Unconsumed countdown
+// carries into the model's next trial, whichever entry point draws it.
+func (m *Model) AppendSites(dst []int, n int) []int {
 	//xqlint:ignore floateq exact sentinel: P is never rounded; 0.0 means noise disabled
 	if m.P == 0 || n == 0 {
-		return nil
+		return dst
 	}
-	var out []int
+	if m.gap < 0 {
+		m.gap = m.skip()
+	}
 	// Geometric skipping: the gap to the next hit is floor(ln U / ln(1-p)).
-	i := m.skip()
+	i := m.gap
 	for i < n {
-		out = append(out, i)
+		dst = append(dst, i)
 		i += 1 + m.skip()
 	}
-	return out
+	m.gap = i - n
+	return dst
+}
+
+// Reseed rewinds the model's stream to the state a fresh NewModel(P, seed)
+// would start from, without reallocating. This is the scratch-reuse hook:
+// resetting a model between shots reproduces a fresh model's draws
+// bit-for-bit.
+func (m *Model) Reseed(seed int64) {
+	m.rng.Seed(seed)
+	m.gap = -1
+}
+
+// SetProb changes the per-site error probability in place (sweep grids
+// reuse one model across physical-error cells). The stream position is
+// unaffected; callers pair it with Reseed for reproducible cells.
+func (m *Model) SetProb(p float64) {
+	if p < 0 || p >= 1 {
+		//xqlint:ignore nopanic same precondition as NewModel: p comes from config constants and sweep grids in [0,1)
+		panic("noise: probability out of range")
+	}
+	m.P = p
+	m.lnq = 0
+	if p > 0 {
+		m.lnq = math.Log(1 - p)
+	}
+	m.gap = -1 // any pending countdown was drawn at the old probability
 }
 
 // Hit samples a single Bernoulli trial.
 func (m *Model) Hit() bool {
-	return m.P > 0 && m.rng.Float64() < m.P
+	//xqlint:ignore floateq exact p==0 sentinel: the disabled model must draw nothing
+	if m.P == 0 {
+		return false
+	}
+	if m.gap < 0 {
+		m.gap = m.skip()
+	}
+	if m.gap == 0 {
+		m.gap = m.skip()
+		return true
+	}
+	m.gap--
+	return false
+}
+
+// TryAdvance consumes n Bernoulli trials only if all of them miss, and
+// reports whether it did. On a false return nothing is consumed: the
+// caller runs the same n trials through Hit one by one and observes the
+// hit the countdown promised, drawing the exact stream a Hit-only caller
+// would. This is the bulk fast path for syndrome rounds where no
+// measurement error fires.
+func (m *Model) TryAdvance(n int) bool {
+	//xqlint:ignore floateq exact p==0 sentinel: the disabled model must draw nothing
+	if m.P == 0 {
+		return true
+	}
+	if m.gap < 0 {
+		m.gap = m.skip()
+	}
+	if m.gap >= n {
+		m.gap -= n
+		return true
+	}
+	return false
 }
 
 // CountHits samples Binomial(n, p) sparsely (returns only the count).
@@ -65,12 +143,16 @@ func (m *Model) CountHits(n int) int {
 	if m.P == 0 || n == 0 {
 		return 0
 	}
+	if m.gap < 0 {
+		m.gap = m.skip()
+	}
 	count := 0
-	i := m.skip()
+	i := m.gap
 	for i < n {
 		count++
 		i += 1 + m.skip()
 	}
+	m.gap = i - n
 	return count
 }
 

@@ -10,7 +10,10 @@
 //
 // The simulator stores 2n+1 rows (n destabilizers, n stabilizers, and one
 // scratch row) of X/Z bit-vectors packed 64 per word, plus a sign bit per
-// row. All Clifford operations are O(n) words; measurements are O(n^2/64).
+// row. The rows live in two contiguous slabs (row r at word offset
+// r*words), so the per-row scans that dominate measurement walk linear
+// memory instead of chasing per-row slice headers. All Clifford operations
+// are O(n) words; measurements are O(n^2/64).
 package stab
 
 import (
@@ -25,10 +28,11 @@ import (
 type Tableau struct {
 	n     int
 	words int // words per bit-row
-	// x[r] and z[r] are the X/Z bit-vectors of row r. Rows 0..n-1 are
+	// x and z hold the X/Z bit-vectors of all 2n+1 rows as contiguous
+	// slabs; row r spans words [r*words, (r+1)*words). Rows 0..n-1 are
 	// destabilizers, rows n..2n-1 are stabilizers, row 2n is scratch.
-	x [][]uint64
-	z [][]uint64
+	x []uint64
+	z []uint64
 	// r[row] is the sign: 0 => +1, 1 => -1 (phases stay real for
 	// stabilizer rows; the intermediate 2-bit phase lives in rowsum).
 	r   []uint8
@@ -49,16 +53,12 @@ func New(n int, seed int64) *Tableau {
 	t := &Tableau{
 		n:     n,
 		words: w,
-		x:     make([][]uint64, 2*n+1),
-		z:     make([][]uint64, 2*n+1),
+		x:     make([]uint64, (2*n+1)*w),
+		z:     make([]uint64, (2*n+1)*w),
 		r:     make([]uint8, 2*n+1),
 		rng:   xrand.New(seed),
 		pmx:   make([]uint64, w),
 		pmz:   make([]uint64, w),
-	}
-	for i := range t.x {
-		t.x[i] = make([]uint64, w)
-		t.z[i] = make([]uint64, w)
 	}
 	for i := 0; i < n; i++ {
 		t.setX(i, i, true)   // destabilizer i = X_i
@@ -67,25 +67,49 @@ func New(n int, seed int64) *Tableau {
 	return t
 }
 
+// Reinit restores the tableau to the state a fresh New(n, seed) would
+// produce — |0...0> with a rewound random stream — without reallocating
+// any row. It is the scratch-reuse hook for shot loops that rebuild their
+// quantum state per shot; reinitialized and freshly constructed tableaus
+// draw identical measurement outcomes for identical seeds.
+func (t *Tableau) Reinit(seed int64) {
+	for i := range t.x {
+		t.x[i] = 0
+		t.z[i] = 0
+	}
+	for i := range t.r {
+		t.r[i] = 0
+	}
+	for i := 0; i < t.n; i++ {
+		t.setX(i, i, true)     // destabilizer i = X_i
+		t.setZ(t.n+i, i, true) // stabilizer i = Z_i
+	}
+	t.rng.Seed(seed)
+}
+
 // N returns the number of qubits.
 func (t *Tableau) N() int { return t.n }
 
-func (t *Tableau) getX(row, q int) bool { return t.x[row][q>>6]>>(uint(q)&63)&1 != 0 }
-func (t *Tableau) getZ(row, q int) bool { return t.z[row][q>>6]>>(uint(q)&63)&1 != 0 }
+// xrow/zrow view one row of the slab.
+func (t *Tableau) xrow(row int) []uint64 { return t.x[row*t.words : (row+1)*t.words] }
+func (t *Tableau) zrow(row int) []uint64 { return t.z[row*t.words : (row+1)*t.words] }
+
+func (t *Tableau) getX(row, q int) bool { return t.x[row*t.words+q>>6]>>(uint(q)&63)&1 != 0 }
+func (t *Tableau) getZ(row, q int) bool { return t.z[row*t.words+q>>6]>>(uint(q)&63)&1 != 0 }
 
 func (t *Tableau) setX(row, q int, v bool) {
 	if v {
-		t.x[row][q>>6] |= 1 << (uint(q) & 63)
+		t.x[row*t.words+q>>6] |= 1 << (uint(q) & 63)
 	} else {
-		t.x[row][q>>6] &^= 1 << (uint(q) & 63)
+		t.x[row*t.words+q>>6] &^= 1 << (uint(q) & 63)
 	}
 }
 
 func (t *Tableau) setZ(row, q int, v bool) {
 	if v {
-		t.z[row][q>>6] |= 1 << (uint(q) & 63)
+		t.z[row*t.words+q>>6] |= 1 << (uint(q) & 63)
 	} else {
-		t.z[row][q>>6] &^= 1 << (uint(q) & 63)
+		t.z[row*t.words+q>>6] &^= 1 << (uint(q) & 63)
 	}
 }
 
@@ -93,14 +117,15 @@ func (t *Tableau) setZ(row, q int, v bool) {
 func (t *Tableau) H(q int) {
 	w, b := q>>6, uint64(1)<<(uint(q)&63)
 	for row := 0; row < 2*t.n; row++ {
-		xr, zr := t.x[row][w]&b, t.z[row][w]&b
+		i := row*t.words + w
+		xr, zr := t.x[i]&b, t.z[i]&b
 		if xr != 0 && zr != 0 {
 			t.r[row] ^= 1
 		}
 		// Swap x and z bits.
 		if (xr != 0) != (zr != 0) {
-			t.x[row][w] ^= b
-			t.z[row][w] ^= b
+			t.x[i] ^= b
+			t.z[i] ^= b
 		}
 	}
 }
@@ -109,12 +134,13 @@ func (t *Tableau) H(q int) {
 func (t *Tableau) S(q int) {
 	w, b := q>>6, uint64(1)<<(uint(q)&63)
 	for row := 0; row < 2*t.n; row++ {
-		xr, zr := t.x[row][w]&b, t.z[row][w]&b
+		i := row*t.words + w
+		xr, zr := t.x[i]&b, t.z[i]&b
 		if xr != 0 && zr != 0 {
 			t.r[row] ^= 1
 		}
 		if xr != 0 {
-			t.z[row][w] ^= b
+			t.z[i] ^= b
 		}
 	}
 }
@@ -124,18 +150,19 @@ func (t *Tableau) CX(c, g int) {
 	cw, cb := c>>6, uint64(1)<<(uint(c)&63)
 	gw, gb := g>>6, uint64(1)<<(uint(g)&63)
 	for row := 0; row < 2*t.n; row++ {
-		xc := t.x[row][cw]&cb != 0
-		zc := t.z[row][cw]&cb != 0
-		xg := t.x[row][gw]&gb != 0
-		zg := t.z[row][gw]&gb != 0
+		base := row * t.words
+		xc := t.x[base+cw]&cb != 0
+		zc := t.z[base+cw]&cb != 0
+		xg := t.x[base+gw]&gb != 0
+		zg := t.z[base+gw]&gb != 0
 		if xc && zg && (xg == zc) {
 			t.r[row] ^= 1
 		}
 		if xc {
-			t.x[row][gw] ^= gb
+			t.x[base+gw] ^= gb
 		}
 		if zg {
-			t.z[row][cw] ^= cb
+			t.z[base+cw] ^= cb
 		}
 	}
 }
@@ -151,7 +178,7 @@ func (t *Tableau) CZ(a, b int) {
 func (t *Tableau) X(q int) {
 	w, b := q>>6, uint64(1)<<(uint(q)&63)
 	for row := 0; row < 2*t.n; row++ {
-		if t.z[row][w]&b != 0 {
+		if t.z[row*t.words+w]&b != 0 {
 			t.r[row] ^= 1
 		}
 	}
@@ -161,7 +188,7 @@ func (t *Tableau) X(q int) {
 func (t *Tableau) Z(q int) {
 	w, b := q>>6, uint64(1)<<(uint(q)&63)
 	for row := 0; row < 2*t.n; row++ {
-		if t.x[row][w]&b != 0 {
+		if t.x[row*t.words+w]&b != 0 {
 			t.r[row] ^= 1
 		}
 	}
@@ -191,8 +218,8 @@ func (t *Tableau) ApplyPauli(q int, p pauli.Pauli) {
 func (t *Tableau) rowsum(h, i int) {
 	var acc uint32 // 2*r_h + 2*r_i + sum g, mod 4
 	acc = uint32(2*t.r[h] + 2*t.r[i])
-	xh, zh := t.x[h], t.z[h]
-	xi, zi := t.x[i], t.z[i]
+	xh, zh := t.xrow(h), t.zrow(h)
+	xi, zi := t.xrow(i), t.zrow(i)
 	for w := 0; w < t.words; w++ {
 		x1, z1 := xi[w], zi[w]
 		x2, z2 := xh[w], zh[w]
@@ -222,10 +249,7 @@ func (t *Tableau) rowsum(h, i int) {
 // with sign (+1 if sign==0, -1 if sign==1). qubits and ops run in parallel.
 func (t *Tableau) loadScratch(qubits []int, ops []pauli.Pauli, sign uint8) {
 	s := 2 * t.n
-	for w := 0; w < t.words; w++ {
-		t.x[s][w] = 0
-		t.z[s][w] = 0
-	}
+	t.clearRow(s)
 	t.r[s] = sign
 	for k, q := range qubits {
 		if q < 0 || q >= t.n {
@@ -238,6 +262,15 @@ func (t *Tableau) loadScratch(qubits []int, ops []pauli.Pauli, sign uint8) {
 		if ops[k].ZBit() {
 			t.setZ(s, q, true)
 		}
+	}
+}
+
+// clearRow zeroes row `row`'s bit-vectors.
+func (t *Tableau) clearRow(row int) {
+	base := row * t.words
+	for w := 0; w < t.words; w++ {
+		t.x[base+w] = 0
+		t.z[base+w] = 0
 	}
 }
 
@@ -266,10 +299,10 @@ func (t *Tableau) loadProductMasks(qubits []int, ops []pauli.Pauli) {
 // with the product loaded into t.pmx/t.pmz: the symplectic inner product
 // sum x_row*z_p + z_row*x_p (mod 2) as a popcount parity.
 func (t *Tableau) anticommutesWithMasks(row int) bool {
-	x, z := t.x[row], t.z[row]
+	base := row * t.words
 	n := 0
 	for w := range t.pmx {
-		n += bits.OnesCount64(x[w]&t.pmz[w]) + bits.OnesCount64(z[w]&t.pmx[w])
+		n += bits.OnesCount64(t.x[base+w]&t.pmz[w]) + bits.OnesCount64(t.z[base+w]&t.pmx[w])
 	}
 	return n&1 == 1
 }
@@ -284,6 +317,9 @@ func (t *Tableau) MeasureProduct(qubits []int, ops []pauli.Pauli) (bool, bool) {
 		panic("stab: qubits/ops length mismatch")
 	}
 	t.loadProductMasks(qubits, ops)
+	if t.words == 1 {
+		return t.measureProductW1()
+	}
 	// Find first stabilizer row anticommuting with the product.
 	p := -1
 	for row := t.n; row < 2*t.n; row++ {
@@ -302,8 +338,8 @@ func (t *Tableau) MeasureProduct(qubits []int, ops []pauli.Pauli) (bool, bool) {
 		}
 		// Destabilizer for the new stabilizer is the old row p.
 		d := p - t.n
-		copy(t.x[d], t.x[p])
-		copy(t.z[d], t.z[p])
+		copy(t.xrow(d), t.xrow(p))
+		copy(t.zrow(d), t.zrow(p))
 		t.r[d] = t.r[p]
 		// New stabilizer = +/- the measured product.
 		outcome := t.rng.Intn(2) == 1
@@ -311,10 +347,7 @@ func (t *Tableau) MeasureProduct(qubits []int, ops []pauli.Pauli) (bool, bool) {
 		if outcome {
 			sign = 1
 		}
-		for w := 0; w < t.words; w++ {
-			t.x[p][w] = 0
-			t.z[p][w] = 0
-		}
+		t.clearRow(p)
 		t.r[p] = sign
 		for k, q := range qubits {
 			if ops[k].XBit() {
@@ -329,10 +362,7 @@ func (t *Tableau) MeasureProduct(qubits []int, ops []pauli.Pauli) (bool, bool) {
 	// Deterministic outcome: accumulate stabilizer rows whose destabilizer
 	// partners anticommute with the product.
 	s := 2 * t.n
-	for w := 0; w < t.words; w++ {
-		t.x[s][w] = 0
-		t.z[s][w] = 0
-	}
+	t.clearRow(s)
 	t.r[s] = 0
 	for row := 0; row < t.n; row++ {
 		if t.anticommutesWithMasks(row) {
@@ -342,9 +372,99 @@ func (t *Tableau) MeasureProduct(qubits []int, ops []pauli.Pauli) (bool, bool) {
 	return t.r[s] == 1, true
 }
 
-// MeasureZ measures qubit q in the Z basis.
+// measureProductW1 is MeasureProduct's single-word specialization
+// (n <= 64): each row's symplectic inner product with the loaded masks is
+// two AND+popcounts on locals, with no per-row word loop or slab offset
+// arithmetic. Outcomes, updates, and random draws are bit-identical to the
+// general path; the new stabilizer row in the random branch is written
+// directly from the product masks (exactly the bits the general path's
+// clearRow+set loop produces).
+func (t *Tableau) measureProductW1() (bool, bool) {
+	px, pz := t.pmx[0], t.pmz[0]
+	x, z := t.x, t.z
+	n := t.n
+	p := -1
+	for row := n; row < 2*n; row++ {
+		if (bits.OnesCount64(x[row]&pz)+bits.OnesCount64(z[row]&px))&1 == 1 {
+			p = row
+			break
+		}
+	}
+	if p >= 0 {
+		for row := 0; row < 2*n; row++ {
+			if row != p && (bits.OnesCount64(x[row]&pz)+bits.OnesCount64(z[row]&px))&1 == 1 {
+				t.rowsum(row, p)
+			}
+		}
+		d := p - n
+		x[d], z[d] = x[p], z[p]
+		t.r[d] = t.r[p]
+		outcome := t.rng.Intn(2) == 1
+		var sign uint8
+		if outcome {
+			sign = 1
+		}
+		x[p], z[p] = px, pz
+		t.r[p] = sign
+		return outcome, false
+	}
+	s := 2 * n
+	x[s], z[s] = 0, 0
+	t.r[s] = 0
+	for row := 0; row < n; row++ {
+		if (bits.OnesCount64(x[row]&pz)+bits.OnesCount64(z[row]&px))&1 == 1 {
+			t.rowsum(s, row+n)
+		}
+	}
+	return t.r[s] == 1, true
+}
+
+// MeasureZ measures qubit q in the Z basis. It runs the same CHP update
+// MeasureProduct performs for the product Z_q, but the per-row
+// anticommutation test collapses to a single X-bit probe in the slab, so
+// the scans that dominate single-qubit measurement cost are plain strided
+// bit tests. Outcomes and post-measurement state are bit-identical to the
+// general path.
 func (t *Tableau) MeasureZ(q int) (bool, bool) {
-	return t.MeasureProduct([]int{q}, []pauli.Pauli{pauli.Z})
+	w, b := q>>6, uint64(1)<<(uint(q)&63)
+	words := t.words
+	// Row `row` anticommutes with Z_q iff its X bit at q is set.
+	p := -1
+	for row := t.n; row < 2*t.n; row++ {
+		if t.x[row*words+w]&b != 0 {
+			p = row
+			break
+		}
+	}
+	if p >= 0 {
+		for row := 0; row < 2*t.n; row++ {
+			if row != p && t.x[row*words+w]&b != 0 {
+				t.rowsum(row, p)
+			}
+		}
+		d := p - t.n
+		copy(t.xrow(d), t.xrow(p))
+		copy(t.zrow(d), t.zrow(p))
+		t.r[d] = t.r[p]
+		outcome := t.rng.Intn(2) == 1
+		var sign uint8
+		if outcome {
+			sign = 1
+		}
+		t.clearRow(p)
+		t.r[p] = sign
+		t.setZ(p, q, true)
+		return outcome, false
+	}
+	s := 2 * t.n
+	t.clearRow(s)
+	t.r[s] = 0
+	for row := 0; row < t.n; row++ {
+		if t.x[row*words+w]&b != 0 {
+			t.rowsum(s, row+t.n)
+		}
+	}
+	return t.r[s] == 1, true
 }
 
 // Reset measures qubit q in the Z basis and flips it to |0> if needed.
@@ -366,10 +486,7 @@ func (t *Tableau) ExpectProduct(qubits []int, ops []pauli.Pauli) int {
 		}
 	}
 	s := 2 * t.n
-	for w := 0; w < t.words; w++ {
-		t.x[s][w] = 0
-		t.z[s][w] = 0
-	}
+	t.clearRow(s)
 	t.r[s] = 0
 	for row := 0; row < t.n; row++ {
 		if t.anticommutesWithMasks(row) {

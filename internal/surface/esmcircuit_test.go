@@ -191,3 +191,41 @@ func TestMemoryCircuitReadoutConsistency(t *testing.T) {
 	check(0, 70)
 	check(0.02, 192)
 }
+
+// TestSyndromeDensitySamplerMatchesSyndromeDensity: the reusable
+// compiled sampler rewinds its stream per Density call, so every call
+// equals the one-shot API exactly, across repeated and varying calls.
+func TestSyndromeDensitySamplerMatchesSyndromeDensity(t *testing.T) {
+	c := NewCode(5)
+	s, err := c.NewSyndromeDensitySampler(5, 0.002, 0.004, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.SyndromeDensity(5, 64, 0.002, 0.004, 3)
+	for i := 0; i < 3; i++ {
+		//xqlint:ignore floateq identical deterministic streams must produce identical counts
+		if got := s.Density(64); got != want {
+			t.Fatalf("call %d: sampler density %v != SyndromeDensity %v", i, got, want)
+		}
+	}
+	//xqlint:ignore floateq identical deterministic streams must produce identical counts
+	if got, w := s.Density(130), c.SyndromeDensity(5, 130, 0.002, 0.004, 3); got != w {
+		t.Fatalf("partial-block shots: sampler density %v != SyndromeDensity %v", got, w)
+	}
+}
+
+// TestSyndromeDensitySamplerSteadyStateAllocs pins the reused density
+// cell at zero heap allocations after warmup.
+func TestSyndromeDensitySamplerSteadyStateAllocs(t *testing.T) {
+	s, err := NewCode(3).NewSyndromeDensitySampler(3, 0.002, 0.004, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() { _ = s.Density(64) }
+	for i := 0; i < 4; i++ {
+		run()
+	}
+	if avg := testing.AllocsPerRun(16, run); avg != 0 {
+		t.Fatalf("steady-state density allocates %.1f times, want 0", avg)
+	}
+}

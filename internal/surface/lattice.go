@@ -121,6 +121,17 @@ type Lattice struct {
 	Patches []Patch
 	// lqToPatch maps a logical qubit index to its patch index.
 	lqToPatch map[int]int
+	// mergeScratch is ApplyMerge's reusable in-region membership table;
+	// activeScratch backs ActiveESMPatches. Both exist so the per-shot
+	// lattice-surgery hot path stays allocation-free.
+	mergeScratch  []bool
+	activeScratch []int
+	// esmEpoch increments on every mutation that can change the active-ESM
+	// set; activeEpoch records the epoch activeScratch was built at, so
+	// the round-loop callers of ActiveESMPatches pay the lattice scan only
+	// when the set actually changed.
+	esmEpoch    uint64
+	activeEpoch uint64
 }
 
 // NewLattice builds a rows x cols lattice of unused patches with code
@@ -136,6 +147,7 @@ func NewLattice(rows, cols, d int) *Lattice {
 		Cols:      cols,
 		Patches:   make([]Patch, rows*cols),
 		lqToPatch: make(map[int]int),
+		esmEpoch:  1, // ahead of activeEpoch so the first listing builds
 	}
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
@@ -219,21 +231,34 @@ func (l *Lattice) MappedLQs() []int {
 // neighbors returns the in-range 4-neighbor patch indices of idx, paired
 // with the side of idx facing each neighbor.
 func (l *Lattice) neighbors(idx int) [][2]int {
+	buf, n := l.neighbors4(idx)
+	return buf[:n]
+}
+
+// neighbors4 is the allocation-free form of neighbors: it returns a
+// fixed-size buffer plus the valid count, for per-shot hot paths
+// (ApplyMerge runs once per merge per shot).
+func (l *Lattice) neighbors4(idx int) ([4][2]int, int) {
 	p := l.Patches[idx]
-	var out [][2]int
+	var out [4][2]int
+	n := 0
 	if q := l.PatchAt(p.Row, p.Col-1); q != nil {
-		out = append(out, [2]int{q.Idx, int(Left)})
+		out[n] = [2]int{q.Idx, int(Left)}
+		n++
 	}
 	if q := l.PatchAt(p.Row-1, p.Col); q != nil {
-		out = append(out, [2]int{q.Idx, int(Top)})
+		out[n] = [2]int{q.Idx, int(Top)}
+		n++
 	}
 	if q := l.PatchAt(p.Row, p.Col+1); q != nil {
-		out = append(out, [2]int{q.Idx, int(Right)})
+		out[n] = [2]int{q.Idx, int(Right)}
+		n++
 	}
 	if q := l.PatchAt(p.Row+1, p.Col); q != nil {
-		out = append(out, [2]int{q.Idx, int(Bottom)})
+		out[n] = [2]int{q.Idx, int(Bottom)}
+		n++
 	}
-	return out
+	return out, n
 }
 
 // MergeRegion computes the set of patches participating in a Pauli product
@@ -299,7 +324,10 @@ func (l *Lattice) MergeRegion(targets []int) ([]int, error) {
 // in-region patch becomes a Z&X seam; other sides keep their static
 // boundary type.
 func (l *Lattice) ApplyMerge(region []int) {
-	inRegion := make(map[int]bool, len(region))
+	if len(l.mergeScratch) < l.NumPatches() {
+		l.mergeScratch = make([]bool, l.NumPatches())
+	}
+	inRegion := l.mergeScratch
 	for _, idx := range region {
 		inRegion[idx] = true
 	}
@@ -310,12 +338,17 @@ func (l *Lattice) ApplyMerge(region []int) {
 		for s := Left; s <= Bottom; s++ {
 			p.Dynamic.ESM[s] = esmFromBasis(l.Code.BoundaryBasis(s))
 		}
-		for _, nb := range l.neighbors(idx) {
+		nbs, n := l.neighbors4(idx)
+		for _, nb := range nbs[:n] {
 			if inRegion[nb[0]] {
 				p.Dynamic.ESM[Side(nb[1])] = ESMBoth
 			}
 		}
 	}
+	for _, idx := range region {
+		inRegion[idx] = false
+	}
+	l.esmEpoch++
 }
 
 // ApplySplit reverts the dynamic information of the region to the
@@ -337,6 +370,7 @@ func (l *Lattice) ApplySplit(region []int) {
 			}
 		}
 	}
+	l.esmEpoch++
 }
 
 // EnableESM marks a freshly mapped patch as participating in the ESM with
@@ -347,17 +381,43 @@ func (l *Lattice) EnableESM(idx int) {
 	for s := Left; s <= Bottom; s++ {
 		p.Dynamic.ESM[s] = esmFromBasis(l.Code.BoundaryBasis(s))
 	}
+	l.esmEpoch++
 }
 
-// ActiveESMPatches lists patches with ESM_on set.
+// ActiveESMPatches lists patches with ESM_on set. The returned slice is
+// backed by a single reusable buffer, recomputed only when the active set
+// changed since the last call (hot paths call it every syndrome round).
+// Callers that need to retain it across mutations must copy.
 func (l *Lattice) ActiveESMPatches() []int {
-	var out []int
+	if l.activeEpoch == l.esmEpoch {
+		return l.activeScratch
+	}
+	out := l.activeScratch[:0]
 	for i := range l.Patches {
 		if l.Patches[i].Dynamic.ESMOn {
 			out = append(out, i)
 		}
 	}
+	l.activeScratch = out
+	l.activeEpoch = l.esmEpoch
 	return out
+}
+
+// ESMEpoch returns a counter that increments on every mutation that can
+// change any patch's ESM participation (merges, splits, ESM enable or
+// disable, layout reset). Callers caching per-patch derived state can
+// compare epochs instead of re-reading dynamic fields every round.
+func (l *Lattice) ESMEpoch() uint64 { return l.esmEpoch }
+
+// DisableESM removes a patch from syndrome extraction entirely — the
+// state after a destructive logical measurement discards it.
+func (l *Lattice) DisableESM(idx int) {
+	p := &l.Patches[idx]
+	p.Dynamic.ESMOn = false
+	for s := Left; s <= Bottom; s++ {
+		p.Dynamic.ESM[s] = ESMNone
+	}
+	l.esmEpoch++
 }
 
 // MergedPatches lists patches with merge_on set.
@@ -422,5 +482,24 @@ func NewPPRLayout(nLQ, d int) *PPRLayout {
 		MagicP:    2*cols + 2,
 		AncillaLQ: nLQ,
 		MagicLQ:   nLQ + 1,
+	}
+}
+
+// Reset restores the layout to its freshly constructed state — every data
+// logical qubit mapped to its home patch with |0> initialization and ESM
+// enabled, every other patch an inactive intermediate — without
+// reallocating the patch array or map. Shot loops reuse one layout across
+// shots; a reset layout is indistinguishable from a new one.
+func (l *PPRLayout) Reset() {
+	for i := range l.Patches {
+		p := &l.Patches[i]
+		p.Static = Static{Type: Intermediate, LQ: -1, ZSide: Top, XSide: Left}
+		p.Dynamic = Dynamic{}
+	}
+	l.esmEpoch++
+	clear(l.lqToPatch)
+	for q := 0; q < l.NLQ; q++ {
+		l.MapLogical(q, 2*q, InitZero)
+		l.EnableESM(2 * q)
 	}
 }

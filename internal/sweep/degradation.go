@@ -45,10 +45,12 @@ func DegradationStudy(ctx context.Context, trials int, seed int64) (Result, erro
 	const p = 0.004
 	const windows = 3
 	for _, d := range []int{5, 7} {
+		// One experiment per distance, retargeted across the stall grid.
+		exp := core.NewMemoryExperiment(d)
 		rates := Series{Name: fmt.Sprintf("logical-error-rate-d%d", d)}
 		drops := Series{Name: fmt.Sprintf("dropped-rounds-per-trial-d%d", d)}
 		for _, sp := range degradationStallProbs {
-			rate, tot, err := core.LogicalErrorRateFaults(ctx, d, p, windows, trials, seed, DegradationFaultConfig(sp, d))
+			rate, tot, err := exp.ErrorRate(ctx, p, windows, trials, seed, DegradationFaultConfig(sp, d))
 			if err != nil {
 				return Result{}, err
 			}

@@ -15,6 +15,7 @@ import (
 	"xqsim/internal/core"
 	"xqsim/internal/decoder"
 	"xqsim/internal/estimator"
+	"xqsim/internal/faults"
 	"xqsim/internal/ftqc"
 	"xqsim/internal/microarch"
 	"xqsim/internal/surface"
@@ -586,9 +587,12 @@ func ThresholdStudy(ctx context.Context, trials int, seed int64) (Result, error)
 	}
 	ps := []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.04}
 	for _, d := range []int{3, 5, 7} {
+		// One experiment per distance: the backends and tableaus are
+		// built once and retargeted across the error-rate cells.
+		exp := core.NewMemoryExperiment(d)
 		s := Series{Name: fmt.Sprintf("logical-error-rate-d%d", d)}
 		for _, p := range ps {
-			rate, err := core.LogicalErrorRate(ctx, d, p, 3, trials, seed)
+			rate, _, err := exp.ErrorRate(ctx, p, 3, trials, seed, faults.Config{})
 			if err != nil {
 				return Result{}, err
 			}
