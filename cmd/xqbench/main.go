@@ -160,6 +160,68 @@ func benchmarks() []struct {
 				decoder.DecodePatchInto(code, pauli.Z, syn, &sc, &res)
 			}
 		}},
+		{"decode-uf-d7", func(b *testing.B) {
+			// Same syndrome shape as decode-patch-d7, decoded through the
+			// union-find backend — the head-to-head EDU latency race.
+			code := surface.NewCode(7)
+			syn := decoder.NewSyndromeBitmap(code)
+			stabs := code.Stabilizers()
+			var cells []surface.Coord
+			for i, st := range stabs {
+				if st.Basis == pauli.Z && i%5 == 0 {
+					cells = append(cells, st.Anc)
+				}
+			}
+			uf, err := decoder.NewBackendByName("union-find")
+			if err != nil {
+				b.Fatal(err)
+			}
+			var res decoder.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				syn.Reset()
+				for _, c := range cells {
+					syn.Set(c)
+				}
+				uf.Decode(code, pauli.Z, syn, &res)
+			}
+		}},
+		{"stream-round-d5", func(b *testing.B) {
+			// One streamed ESM round through the windowed decoder (window
+			// = d), alternating a two-event round with quiet rounds — the
+			// steady-state per-round cost of real-time decode.
+			code := surface.NewCode(5)
+			events := decoder.NewSyndromeBitmap(code)
+			n := 0
+			for _, st := range code.Stabilizers() {
+				if st.Basis == pauli.Z && n < 2 {
+					events.Set(st.Anc)
+					n++
+				}
+			}
+			uf, err := decoder.NewBackendByName("union-find")
+			if err != nil {
+				b.Fatal(err)
+			}
+			sd, err := decoder.NewStreamDecoder(decoder.StreamConfig{
+				Code: code, Basis: pauli.Z, Backend: uf,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%5 == 0 {
+					sd.Round(events)
+				} else {
+					sd.Round(nil)
+				}
+				if i%50 == 49 {
+					_ = sd.Finish()
+					sd.Reset()
+				}
+			}
+		}},
 		{"frame-memory-cell-d3", func(b *testing.B) {
 			// One circuit-level threshold cell: 256 memory shots at d=3
 			// through a compiled cell reused across iterations — the

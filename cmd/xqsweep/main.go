@@ -34,6 +34,8 @@ func main() {
 		threshold   = flag.Bool("threshold", false, "run the surface-code memory threshold study")
 		circuitThr  = flag.Bool("circuit-threshold", false, "run the circuit-level threshold study (batch frame sampler)")
 		degradation = flag.Bool("degradation", false, "run the fault-injection degradation study (logical error rate vs decoder-stall rate)")
+		tournament  = flag.Bool("tournament", false, "race the decode backends on accuracy, ns/round, max sustainable distance and backlog degradation")
+		decoderName = flag.String("decoder", "", "with -tournament: restrict the race to one backend ("+strings.Join(xqsim.DecoderBackendNames(), ", ")+")")
 		table       = flag.String("table", "", "table to regenerate: 3, 4")
 		all         = flag.Bool("all", false, "regenerate everything")
 		shots       = flag.Int("shots", 512, "shots for the Table-3 functional validation")
@@ -45,6 +47,7 @@ func main() {
 	)
 	flag.Parse()
 	defer prof.Start()()
+	tournamentOnly = *decoderName
 
 	// SIGINT/SIGTERM cancel the sweep between grid cells; the checkpoint
 	// keeps every completed cell, so -resume continues where it stopped.
@@ -107,6 +110,8 @@ func main() {
 		run("circuit-threshold")
 	case *degradation:
 		run("degradation")
+	case *tournament:
+		run("tournament")
 	case *fig != "":
 		run(*fig)
 	case *table != "":
@@ -152,6 +157,10 @@ func canonicalID(id string) string {
 	return id
 }
 
+// tournamentOnly carries the -decoder restriction into the tournament
+// driver (empty = race every registered backend).
+var tournamentOnly string
+
 // runExperiment dispatches one experiment id to its driver.
 func runExperiment(ctx context.Context, id string, shots int, seed int64) (xqsim.ExperimentResult, error) {
 	switch id {
@@ -183,6 +192,8 @@ func runExperiment(ctx context.Context, id string, shots int, seed int64) (xqsim
 		return xqsim.CircuitThresholdStudy(ctx, 4000, seed)
 	case "degradation":
 		return xqsim.DegradationStudy(ctx, 400, seed)
+	case "tournament":
+		return xqsim.DecoderTournament(ctx, shots, seed, tournamentOnly)
 	}
 	return xqsim.ExperimentResult{}, fmt.Errorf("unknown experiment %q", id)
 }

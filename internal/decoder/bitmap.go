@@ -73,6 +73,17 @@ func (b *SyndromeBitmap) Get(p surface.Coord) bool {
 	return b.Words[i>>6]&(1<<uint(i&63)) != 0
 }
 
+// Xor folds other's bits into b (symmetric difference). Both bitmaps
+// must be sized for the same code. This is the detection-event
+// accumulation of the streaming decoder: XORing per-round events
+// telescopes to the net flip parity, so the accumulated bitmap is always
+// the whole-stream syndrome regardless of how rounds are windowed.
+func (b *SyndromeBitmap) Xor(other *SyndromeBitmap) {
+	for i := range b.Words {
+		b.Words[i] ^= other.Words[i]
+	}
+}
+
 // Count returns the number of non-trivial plaquettes.
 func (b *SyndromeBitmap) Count() int {
 	n := 0

@@ -188,11 +188,11 @@ type Injector struct {
 	cfg Config
 	rng *xrand.Rand
 
-	// backlog tracks the syndrome rounds queued behind the decoder in
-	// excess of steady state; pendingDrops schedules round drops decided
-	// at overflow time but consumed round-by-round.
-	backlog      int
-	pendingDrops int
+	// buf models the syndrome buffer: rounds queued behind the decoder,
+	// with overflow resolved under the configured policy. The machinery
+	// is shared with decoder.StreamDecoder (which feeds it from decode
+	// latency instead of stall draws).
+	buf BacklogTracker
 
 	totals Totals
 }
@@ -204,7 +204,11 @@ func NewInjector(cfg Config, seed int64) *Injector {
 	if !cfg.Enabled() {
 		return nil
 	}
-	return &Injector{cfg: cfg, rng: xrand.New(seed + seedStream)}
+	return &Injector{
+		cfg: cfg,
+		rng: xrand.New(seed + seedStream),
+		buf: NewBacklogTracker(cfg.BufferRounds, cfg.Policy),
+	}
 }
 
 // Reset rewinds the injector to the state NewInjector(cfg, seed) would
@@ -218,8 +222,7 @@ func (in *Injector) Reset(seed int64) {
 		return
 	}
 	in.rng.Seed(seed + seedStream)
-	in.backlog = 0
-	in.pendingDrops = 0
+	in.buf.Reset()
 	in.totals = Totals{}
 }
 
@@ -230,10 +233,8 @@ func (in *Injector) Round() RoundOutcome {
 		return RoundOutcome{}
 	}
 	var out RoundOutcome
-	if in.pendingDrops > 0 {
-		in.pendingDrops--
+	if in.buf.ConsumeDrop() {
 		out.DropEvents = true
-		in.totals.DroppedRounds++
 	}
 	if in.cfg.LinkErrorProb > 0 && in.rng.Float64() < in.cfg.LinkErrorProb {
 		// Retransmit under exponential backoff: attempt k costs 2^k
@@ -274,36 +275,25 @@ func (in *Injector) Window(baseCycles uint64, d int) WindowOutcome {
 		}
 		// While the decoder is busy for an extra (factor-1) windows'
 		// worth of time, the next windows' syndromes queue behind it.
-		in.backlog += int(in.cfg.StallFactor-1) * d
+		in.buf.Add(int(in.cfg.StallFactor-1) * d)
 		in.totals.StallWindows++
 		in.totals.StallCycles += out.StallCycles
-	} else if in.backlog > 0 {
+	} else {
 		// A clean window drains one window's worth of backlog.
-		in.backlog -= d
-		if in.backlog < 0 {
-			in.backlog = 0
-		}
+		in.buf.Drain(d)
 	}
-	if in.cfg.BufferRounds > 0 && in.backlog > in.cfg.BufferRounds {
-		excess := in.backlog - in.cfg.BufferRounds
-		in.backlog = in.cfg.BufferRounds
-		switch in.cfg.Policy {
-		case PolicyDropOldest:
-			// The oldest buffered rounds are discarded; the drops are
-			// consumed by the next `excess` Round() calls.
-			in.pendingDrops += excess
-		case PolicyBackpressure:
-			out.BackpressureRounds = excess
-			in.totals.BackpressureRounds += excess
-		}
-	}
+	out.BackpressureRounds = in.buf.Overflow()
 	return out
 }
 
-// Totals returns the accounting accumulated so far. Nil-safe.
+// Totals returns the accounting accumulated so far (the injector's own
+// stall/link classes plus the buffer tracker's drop/backpressure
+// counts). Nil-safe.
 func (in *Injector) Totals() Totals {
 	if in == nil {
 		return Totals{}
 	}
-	return in.totals
+	t := in.totals
+	t.Add(in.buf.Totals())
+	return t
 }

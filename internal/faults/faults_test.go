@@ -171,8 +171,8 @@ func TestBacklogDrainsOnCleanWindows(t *testing.T) {
 	for w := 0; w < 3; w++ {
 		in.Window(100, 5)
 	}
-	if in.backlog != 0 {
-		t.Fatalf("backlog = %d after clean windows, want 0", in.backlog)
+	if in.buf.Backlog() != 0 {
+		t.Fatalf("backlog = %d after clean windows, want 0", in.buf.Backlog())
 	}
 }
 

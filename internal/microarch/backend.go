@@ -75,6 +75,12 @@ type Backend struct {
 	synBM  *decoder.SyndromeBitmap
 	decSc  decoder.Scratch
 	decRes decoder.Result
+	// dec, when set, replaces the direct DecodePatchInto call with a
+	// pluggable decode backend whose modeled cycle cost FinishWindow
+	// reports in WindowDecode.DecoderCycles. nil keeps the exact matcher
+	// on the historical zero-cost path (the pipeline then prices the
+	// window purely from DecodeWindowCycles).
+	dec decoder.Backend
 
 	// synActive marks patches with a live syndrome baseline; the three
 	// per-patch slabs below are allocated once for every lattice position
@@ -738,7 +744,22 @@ type WindowDecode struct {
 	Windows     int             // patch windows processed (patch-sliding slides)
 	Syndromes   int             // non-trivial syndrome count
 	Flips       int             // identified data-qubit errors
+	// DecoderCycles is the pluggable backend's modeled decode cost for
+	// the window (0 when no backend is installed); the pipeline charges
+	// max(DecodeWindowCycles, DecoderCycles) so a slower backend visibly
+	// stretches the EDU critical path.
+	DecoderCycles uint64
 }
+
+// SetDecoder installs a pluggable decode backend for every subsequent
+// FinishWindow. The backend must be private to this Backend (callers
+// Clone before installing); passing nil restores the direct matcher
+// path.
+func (b *Backend) SetDecoder(dec decoder.Backend) { b.dec = dec }
+
+// Decoder returns the installed decode backend (nil on the direct
+// matcher path).
+func (b *Backend) Decoder() decoder.Backend { return b.dec }
 
 // Matches returns both bases' matches combined.
 func (w WindowDecode) Matches() []decoder.Match {
@@ -812,7 +833,11 @@ func (b *Backend) FinishWindow() WindowDecode {
 				continue
 			}
 			out.Syndromes += nontrivial
-			decoder.DecodePatchInto(b.Code, basis, b.synBM, &b.decSc, &b.decRes)
+			if b.dec != nil {
+				out.DecoderCycles += b.dec.Decode(b.Code, basis, b.synBM, &b.decRes)
+			} else {
+				decoder.DecodePatchInto(b.Code, basis, b.synBM, &b.decSc, &b.decRes)
+			}
 			res := &b.decRes
 			if basis == pauli.Z {
 				out.MatchesZ = append(out.MatchesZ, res.Matches...)

@@ -514,6 +514,9 @@ func (p *Pipeline) execRunESMCompiled(cp *CompiledProgram, u *uop) {
 		p.M.MatchStepsSum += m.Steps
 	}
 	cycles := DecodeWindowCycles(p.Cfg.Scheme, p.Cfg.D, wd)
+	if wd.DecoderCycles > cycles {
+		cycles = wd.DecoderCycles
+	}
 	wo := p.inj.Window(cycles, d)
 	cycles += wo.StallCycles
 	for i := 0; i < wo.BackpressureRounds; i++ {

@@ -103,6 +103,12 @@ type Config struct {
 	Functional bool // enable the stabilizer tableau (logical outcomes)
 
 	Scheme decoder.Scheme
+	// DecoderBackend, when non-nil, is the pluggable EDU decode
+	// implementation (decoder.NewBackendByName); each pipeline installs
+	// its own Clone so parallel shot runners never share scratch. nil
+	// keeps the historical direct matcher path, cycle-for-cycle
+	// unchanged.
+	DecoderBackend decoder.Backend
 	// MaskGenerators is the PSU mask-generator count; MaskSharing is
 	// Optimization #2's per-generator qubit multiplier.
 	MaskGenerators int
@@ -178,6 +184,9 @@ func NewPipeline(layout *surface.PPRLayout, cfg Config) *Pipeline {
 		lqmScratch:    pauli.NewProduct(layout.NLQ + 2),
 		pendingRegion: make(map[int]bool),
 		inj:           faults.NewInjector(cfg.Faults, cfg.Seed),
+	}
+	if cfg.DecoderBackend != nil {
+		p.B.SetDecoder(cfg.DecoderBackend.Clone())
 	}
 	return p
 }
@@ -513,6 +522,11 @@ func (p *Pipeline) execRunESM() {
 		p.M.MatchStepsSum += m.Steps
 	}
 	cycles := DecodeWindowCycles(p.Cfg.Scheme, p.Cfg.D, wd)
+	if wd.DecoderCycles > cycles {
+		// A pluggable decode backend slower than the scheme's structural
+		// model stretches the EDU critical path.
+		cycles = wd.DecoderCycles
+	}
 	// Fault injection: a decoder stall spike multiplies the window's
 	// decode latency and backs syndromes up in the buffer; an overflow
 	// under backpressure idles the data qubits (extra decoherence rounds

@@ -1,0 +1,140 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"xqsim/internal/config"
+	"xqsim/internal/core"
+	"xqsim/internal/decoder"
+	"xqsim/internal/faults"
+)
+
+// tournamentDistances is the latency-race grid: odd distances up to the
+// paper's 10+K-qubit operating range.
+var tournamentDistances = []int{3, 5, 7, 9, 11, 13, 15, 17, 19, 21}
+
+// tournamentBudgetFactors is the backlog-degradation grid: the per-round
+// cycle budget as a multiple of the backend's own measured mean decode
+// cost, from comfortable headroom (4x) to hopeless overload (0.25x).
+var tournamentBudgetFactors = []float64{4, 2, 1, 0.5, 0.25}
+
+// TournamentEntry is one backend's race card.
+type TournamentEntry struct {
+	Backend string
+	// LER is the logical error rate of the accuracy race (d=5, p=1%,
+	// streaming decode with no latency pressure).
+	LER float64
+	// NsPerRound maps distance to the modeled mean decode time per ESM
+	// round (cycles at the 300K-CMOS clock), amortized over every shot
+	// round including quiet ones — the throughput criterion: the backlog
+	// grows without bound iff this exceeds the ESM round time.
+	NsPerRound map[int]float64
+	// MaxSustainableD is the largest grid distance whose mean decode
+	// time per round stays within the ESM round budget (0 = none).
+	MaxSustainableD int
+}
+
+// DecoderTournament races every registered decode backend (or just
+// `only`, when non-empty) through the streaming memory experiment on
+// three axes:
+//
+//   - accuracy: logical error rate at d=5, p=1%, no latency pressure;
+//   - latency: modeled mean decode ns per ESM round across distances at
+//     the paper's p=0.4% operating point, giving the maximum distance
+//     each backend sustains within the ESM round budget (ESMRoundNs);
+//   - degradation: logical error rate and dropped rounds versus the
+//     per-round cycle budget (as a fraction of the backend's own mean
+//     cost) at d=7 under a one-window drop-oldest buffer — the
+//     backlog -> logical-error-rate coupling measured end-to-end.
+//
+// Shots is the trial count per cell; seed fixes every stream.
+func DecoderTournament(ctx context.Context, shots int, seed int64, only string) (Result, error) {
+	res := Result{
+		ID:      "tournament",
+		Title:   "decoder tournament: accuracy, ns/round, max sustainable distance, backlog degradation",
+		Anchors: map[string][2]float64{},
+	}
+	names := decoder.BackendNames()
+	if only != "" {
+		if _, err := decoder.NewBackendByName(only); err != nil {
+			return Result{}, fmt.Errorf("sweep: tournament: %w", err)
+		}
+		names = []string{only}
+	}
+	esmNs := config.ESMRoundNs()
+	for _, name := range names {
+		backend, err := decoder.NewBackendByName(name)
+		if err != nil {
+			return Result{}, fmt.Errorf("sweep: tournament: %w", err)
+		}
+		entry := TournamentEntry{Backend: name, NsPerRound: map[int]float64{}}
+
+		// Accuracy race: streaming decode, no pressure.
+		acc, err := core.StreamLogicalErrorRate(ctx, core.StreamMemoryConfig{
+			D: 5, PhysError: 0.01, Rounds: 10, Backend: backend,
+		}, shots, seed)
+		if err != nil {
+			return Result{}, fmt.Errorf("sweep: tournament: accuracy %s: %w", name, err)
+		}
+		entry.LER = acc.Rate
+
+		// Latency race across distances at the operating error rate.
+		lat := Series{Name: "ns-per-round-" + name}
+		var d7MeanCycles float64
+		for _, d := range tournamentDistances {
+			r, err := core.StreamLogicalErrorRate(ctx, core.StreamMemoryConfig{
+				D: d, PhysError: 0.004, Rounds: d, Backend: backend,
+			}, shots, seed)
+			if err != nil {
+				return Result{}, fmt.Errorf("sweep: tournament: latency %s d=%d: %w", name, d, err)
+			}
+			meanCycles := float64(r.Stats.DecodeCycles) / float64(shots*d)
+			ns := meanCycles / config.Freq300KCMOSGHz
+			entry.NsPerRound[d] = ns
+			if d == 7 {
+				d7MeanCycles = meanCycles
+			}
+			lat.X = append(lat.X, float64(d))
+			lat.Y = append(lat.Y, ns)
+			if ns <= esmNs && d > entry.MaxSustainableD {
+				entry.MaxSustainableD = d
+			}
+		}
+		res.Series = append(res.Series, lat)
+
+		// Backlog degradation at d=7: budget as a fraction of this
+		// backend's own mean per-round cost, one-window drop-oldest
+		// buffer, so overload turns directly into dropped rounds and a
+		// rising logical error rate.
+		const degD = 7
+		rates := Series{Name: "degradation-ler-" + name}
+		drops := Series{Name: "degradation-dropped-per-shot-" + name}
+		for _, f := range tournamentBudgetFactors {
+			budget := uint64(math.Max(1, math.Round(d7MeanCycles*f)))
+			r, err := core.StreamLogicalErrorRate(ctx, core.StreamMemoryConfig{
+				D: degD, PhysError: 0.004, Rounds: 2 * degD, Backend: backend,
+				BudgetCycles: budget, BufferRounds: degD, Policy: faults.PolicyDropOldest,
+			}, shots, seed)
+			if err != nil {
+				return Result{}, fmt.Errorf("sweep: tournament: degradation %s f=%g: %w", name, f, err)
+			}
+			rates.X = append(rates.X, f)
+			rates.Y = append(rates.Y, r.Rate)
+			drops.X = append(drops.X, f)
+			drops.Y = append(drops.Y, float64(r.Stats.DroppedRounds)/float64(shots))
+		}
+		res.Series = append(res.Series, rates, drops)
+
+		res.Anchors[name+" LER d=5 p=1%"] = [2]float64{0, entry.LER}
+		res.Anchors[name+" ns/round d=7"] = [2]float64{0, entry.NsPerRound[7]}
+		res.Anchors[name+" max sustainable d"] = [2]float64{0, float64(entry.MaxSustainableD)}
+		res.Anchors[name+" LER at 0.25x budget"] = [2]float64{0, rates.Y[len(rates.Y)-1]}
+	}
+	res.Notes = append(res.Notes,
+		"no paper counterpart: in-simulator race of pluggable EDU decode backends over the streaming memory experiment",
+		fmt.Sprintf("sustainability criterion: mean decode ns per ESM round (300K CMOS clock) <= ESMRoundNs = %.0f ns; the backlog diverges iff the mean exceeds it", esmNs),
+		"degradation budgets are multiples of each backend's own measured d=7 mean cost, so the x-axis is comparable across backends")
+	return res, nil
+}

@@ -1,0 +1,53 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+)
+
+// TestDecoderTournamentSmoke runs a tiny tournament over both backends
+// and sanity-checks the race card: every backend reports a latency curve
+// over the full grid, a nonzero sustainable distance, and a degradation
+// series whose overloaded tail drops rounds.
+func TestDecoderTournamentSmoke(t *testing.T) {
+	res, err := DecoderTournament(context.Background(), 128, 3, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "tournament" {
+		t.Fatalf("ID = %q", res.ID)
+	}
+	// Two backends, three series each.
+	if len(res.Series) != 6 {
+		t.Fatalf("got %d series, want 6: %+v", len(res.Series), res.Series)
+	}
+	for _, name := range []string{"matching", "union-find"} {
+		sus, ok := res.Anchors[name+" max sustainable d"]
+		if !ok || sus[1] < 3 {
+			t.Fatalf("%s: sustainable distance anchor = %v (anchors %v)", name, sus, res.Anchors)
+		}
+		if _, ok := res.Anchors[name+" ns/round d=7"]; !ok {
+			t.Fatalf("%s: missing ns/round anchor", name)
+		}
+	}
+	for _, s := range res.Series {
+		if len(s.X) == 0 {
+			t.Fatalf("series %s is empty", s.Name)
+		}
+	}
+}
+
+// TestDecoderTournamentOnly restricts the race to one backend and
+// rejects unknown names.
+func TestDecoderTournamentOnly(t *testing.T) {
+	res, err := DecoderTournament(context.Background(), 64, 3, "union-find")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("got %d series, want 3", len(res.Series))
+	}
+	if _, err := DecoderTournament(context.Background(), 64, 3, "nope"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}

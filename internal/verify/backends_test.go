@@ -1,0 +1,37 @@
+package verify
+
+import (
+	"testing"
+
+	"xqsim/internal/surface"
+)
+
+// TestCheckBackendsPasses runs the backend differential check across the
+// quick-depth distances at volume.
+func TestCheckBackendsPasses(t *testing.T) {
+	for _, d := range Quick.DecoderDistances {
+		if f := CheckBackends(int64(1000+d), d, 150); f != nil {
+			t.Fatalf("%v", f)
+		}
+	}
+}
+
+// TestShrinkSyndromeMinimizes pins the shrinker: with a predicate that
+// fails whenever a marker cell is present, the shrunk syndrome is exactly
+// that cell.
+func TestShrinkSyndromeMinimizes(t *testing.T) {
+	marker := surface.Coord{Row: 2, Col: 3}
+	syn := map[surface.Coord]bool{
+		{Row: 0, Col: 1}: true,
+		{Row: 1, Col: 2}: true,
+		marker:           true,
+		{Row: 4, Col: 4}: true,
+		{Row: 5, Col: 0}: false, // explicit-false entries must be dropped
+	}
+	got := shrinkSyndrome(syn, func(s map[surface.Coord]bool) bool {
+		return s[marker]
+	})
+	if len(got) != 1 || !got[marker] {
+		t.Fatalf("shrunk to %v, want just %v", got, marker)
+	}
+}

@@ -143,6 +143,11 @@ func AllChecks() []CheckSpec {
 			Trials: func(d Depth) int { return len(d.DecoderDistances) },
 			Run:    runDecoderTrial,
 		},
+		{
+			Name:   "backends",
+			Trials: func(d Depth) int { return len(d.DecoderDistances) },
+			Run:    runBackendsTrial,
+		},
 	}
 }
 
@@ -158,6 +163,16 @@ func runDecoderTrial(seed int64, d Depth) *Failure {
 		idx = len(d.DecoderDistances) - 1
 	}
 	return CheckDecoder(seed, d.DecoderDistances[idx], d.DecoderTrials)
+}
+
+// runBackendsTrial mirrors runDecoderTrial's seed-folded distance
+// selection for the pluggable-backend differential check.
+func runBackendsTrial(seed int64, d Depth) *Failure {
+	idx := int(seed & 0xf)
+	if idx >= len(d.DecoderDistances) {
+		idx = len(d.DecoderDistances) - 1
+	}
+	return CheckBackends(seed, d.DecoderDistances[idx], d.DecoderTrials)
 }
 
 // CheckNames returns the suite's check names in order.
@@ -226,7 +241,7 @@ func Run(d Depth, baseSeed int64, only map[string]bool) Report {
 		trials := spec.Trials(d)
 		for k := 0; k < trials; k++ {
 			seed := seeds.Int63()
-			if spec.Name == "decoder" {
+			if spec.Name == "decoder" || spec.Name == "backends" {
 				seed = seed&^0xf | int64(k%len(d.DecoderDistances))
 			}
 			rep.TrialsRun[spec.Name]++
