@@ -1,10 +1,21 @@
 // Command xqlint runs the repo's custom static-analysis suite
 // (internal/analysis) over the module: determinism, exhaustive, nopanic,
-// floateq, and errignore. It prints findings as "file:line: analyzer:
-// message" and exits 1 when there are any, 2 on load or type errors, so
-// CI can gate on it:
+// floateq, errignore, ctxfirst, plus the contract analyzers
+// resetcomplete, clonedeep, maprange, noalloc, and globalmut. It prints
+// findings as "file:line: analyzer: message" and exits 1 when there are
+// any, 2 on load or type errors, so CI can gate on it:
 //
 //	go run ./cmd/xqlint ./...
+//
+// Flags:
+//
+//	-list     list the analyzers and exit
+//	-json     emit findings as JSONL ({"file","line","col","analyzer",
+//	          "message"}, one object per line) for editor/CI integration
+//	-escapes  additionally run `go build -gcflags=-m` over the same
+//	          patterns and report every heap allocation the compiler
+//	          places inside a //xqlint:noalloc function, cross-checking
+//	          the AST-level noalloc analyzer against real escape analysis
 //
 // Packages are named by Go-style patterns: directories ("./internal/stab"),
 // import paths ("xqsim/internal/stab"), or trees ("./...").
@@ -14,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 
@@ -22,8 +34,10 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as JSONL")
+	escapes := flag.Bool("escapes", false, "cross-check //xqlint:noalloc against go build -gcflags=-m")
 	flag.Usage = func() {
-		_, _ = fmt.Fprintf(flag.CommandLine.Output(), "usage: xqlint [packages]\n\n")
+		_, _ = fmt.Fprintf(flag.CommandLine.Output(), "usage: xqlint [flags] [packages]\n\n")
 		_, _ = fmt.Fprintf(flag.CommandLine.Output(), "Runs the xqsim analyzer suite; defaults to ./...\n\n")
 		flag.PrintDefaults()
 	}
@@ -31,7 +45,7 @@ func main() {
 
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -81,18 +95,48 @@ func main() {
 	cfg := analysis.DefaultConfig(loader.ModulePath)
 	findings := analysis.Run(pkgs, cfg, analysis.All())
 
-	cwd, _ := os.Getwd()
-	for _, f := range findings {
-		name := f.Pos.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
-			}
+	if *escapes {
+		esc, err := runEscapeCheck(pkgs, patterns)
+		if err != nil {
+			_, _ = fmt.Fprintln(os.Stderr, "xqlint: -escapes:", err)
+			os.Exit(2)
 		}
-		fmt.Printf("%s:%d: %s: %s\n", name, f.Pos.Line, f.Analyzer, f.Message)
+		findings = append(findings, esc...)
+	}
+
+	if *asJSON {
+		if err := analysis.WriteJSON(os.Stdout, findings); err != nil {
+			_, _ = fmt.Fprintln(os.Stderr, "xqlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		cwd, _ := os.Getwd()
+		for _, f := range findings {
+			name := f.Pos.Filename
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+					name = rel
+				}
+			}
+			fmt.Printf("%s:%d: %s: %s\n", name, f.Pos.Line, f.Analyzer, f.Message)
+		}
 	}
 	if len(findings) > 0 {
 		_, _ = fmt.Fprintf(os.Stderr, "xqlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// runEscapeCheck compiles the requested patterns with -gcflags=-m and
+// matches the compiler's heap diagnostics against //xqlint:noalloc
+// function spans. The diagnostics land on stderr mixed with inlining
+// chatter; ParseEscapeOutput keeps only heap lines. A failed build is an
+// error (exit 2), matching how load/type errors are treated.
+func runEscapeCheck(pkgs []*analysis.LoadedPackage, patterns []string) ([]analysis.Finding, error) {
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	out, err := exec.Command("go", args...).CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out)
+	}
+	return analysis.CrossCheckEscapes(pkgs, analysis.ParseEscapeOutput(string(out))), nil
 }

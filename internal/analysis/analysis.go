@@ -18,20 +18,44 @@
 //   - ctxfirst: exported functions taking a context.Context take it as
 //     the first parameter, so every cancelable entry point reads the
 //     same way.
+//   - resetcomplete: a Reset method restores every receiver field, so a
+//     reused object replays any shot bit-for-bit against fresh
+//     construction; intentionally-carried fields are annotated
+//     //xqlint:persistent <reason>.
+//   - clonedeep: a Clone method deep-copies every reference-typed field,
+//     so per-worker clones share no mutable state; deliberately-shared
+//     immutable tables are annotated //xqlint:shared <reason>.
+//   - maprange: no range over a map in simulation packages, except the
+//     collect-then-sort idiom or bodies annotated order-insensitive —
+//     Go randomizes map order, which would make output depend on the
+//     run rather than the seed.
+//   - noalloc: functions annotated //xqlint:noalloc (and everything they
+//     call inside the module) contain no allocation sites; xqlint
+//     -escapes cross-checks the annotations against the compiler's
+//     escape analysis (go build -gcflags=-m).
+//   - globalmut: no writes to package-level variables of simulation
+//     packages outside declaration and init — hidden globals are shared
+//     by every worker clone at once.
 //
 // A finding can be suppressed with an annotation on the offending line
 // (or the line directly above):
 //
 //	//xqlint:ignore <analyzer>[,<analyzer>...] <reason>
 //
-// The reason is mandatory; an annotation without one is itself a finding.
+// The reason is mandatory; an annotation without one is itself a
+// finding, an annotation naming an analyzer the suite does not have is a
+// finding, and — the unusedignore meta-check — a well-formed annotation
+// that suppresses nothing is a finding too, so stale suppressions cannot
+// rot in place.
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"io"
 	"sort"
 	"strings"
 )
@@ -69,6 +93,11 @@ type Pass struct {
 	Info    *types.Info
 	Cfg     *Config
 
+	// noallocRegistry holds the types.Func.FullName of every function
+	// annotated //xqlint:noalloc across the packages in this run, so the
+	// noalloc analyzer can accept cross-package calls compositionally.
+	noallocRegistry map[string]bool
+
 	findings *[]Finding
 }
 
@@ -90,38 +119,101 @@ func All() []*Analyzer {
 		floateqAnalyzer,
 		errignoreAnalyzer,
 		ctxfirstAnalyzer,
+		resetcompleteAnalyzer,
+		clonedeepAnalyzer,
+		maprangeAnalyzer,
+		noallocAnalyzer,
+		globalmutAnalyzer,
 	}
+}
+
+// collectNoallocRegistry scans every package for //xqlint:noalloc
+// function annotations and returns the annotated FullNames.
+func collectNoallocRegistry(pkgs []*LoadedPackage) map[string]bool {
+	reg := map[string]bool{}
+	for _, lp := range pkgs {
+		for _, f := range lp.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if found, _ := funcAnnotation(fd, "noalloc"); !found {
+					continue
+				}
+				if fn, ok := lp.Info.Defs[fd.Name].(*types.Func); ok {
+					reg[fn.FullName()] = true
+				}
+			}
+		}
+	}
+	return reg
 }
 
 // Run applies the analyzers to every package and returns the surviving
 // findings sorted by position. Findings on lines covered by a valid
 // //xqlint:ignore annotation for the matching analyzer are dropped;
-// malformed annotations (no reason) are reported under the pseudo-analyzer
-// name "xqlint".
+// malformed annotations (no reason, or an unknown analyzer name) are
+// reported under the pseudo-analyzer name "xqlint", and — the
+// unusedignore meta-check — a well-formed annotation that suppresses
+// nothing is itself a finding, so stale suppressions cannot rot in
+// place. Unused ignores are only judged when every analyzer they name is
+// part of this run; a subset run cannot prove staleness.
 func Run(pkgs []*LoadedPackage, cfg *Config, analyzers []*Analyzer) []Finding {
+	running := map[string]bool{}
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+	known := map[string]bool{"xqlint": true, "unusedignore": true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	registry := collectNoallocRegistry(pkgs)
+
 	var all []Finding
 	for _, lp := range pkgs {
 		var raw []Finding
 		pass := &Pass{
-			Fset:     lp.Fset,
-			Path:     lp.Path,
-			RelPath:  cfg.relPath(lp.Path),
-			Files:    lp.Files,
-			Pkg:      lp.Pkg,
-			Info:     lp.Info,
-			Cfg:      cfg,
-			findings: &raw,
+			Fset:            lp.Fset,
+			Path:            lp.Path,
+			RelPath:         cfg.relPath(lp.Path),
+			Files:           lp.Files,
+			Pkg:             lp.Pkg,
+			Info:            lp.Info,
+			Cfg:             cfg,
+			noallocRegistry: registry,
+			findings:        &raw,
 		}
 		for _, a := range analyzers {
 			a.Run(pass)
 		}
-		ign, bad := collectIgnores(lp.Fset, lp.Files)
+		ign, anns, bad := collectIgnores(lp.Fset, lp.Files, known)
 		for _, f := range raw {
 			if !ign.covers(f) {
 				all = append(all, f)
 			}
 		}
 		all = append(all, bad...)
+		for _, ann := range anns {
+			if ann.used {
+				continue
+			}
+			judgeable := true
+			for _, name := range ann.analyzers {
+				if !running[name] {
+					judgeable = false
+					break
+				}
+			}
+			if judgeable {
+				all = append(all, Finding{
+					Pos:      ann.pos,
+					Analyzer: "unusedignore",
+					Message: fmt.Sprintf("//xqlint:ignore %s suppresses nothing; delete the stale annotation",
+						strings.Join(ann.analyzers, ",")),
+				})
+			}
+		}
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
@@ -139,33 +231,49 @@ func Run(pkgs []*LoadedPackage, cfg *Config, analyzers []*Analyzer) []Finding {
 	return all
 }
 
-// ignoreSet maps (file, line, analyzer) triples suppressed by annotations.
-type ignoreSet map[string]map[int]map[string]bool
+// ignoreAnn is one //xqlint:ignore annotation, tracked so the
+// unusedignore meta-check can flag annotations that suppress nothing.
+type ignoreAnn struct {
+	pos       token.Position
+	analyzers []string
+	used      bool
+}
 
-func (s ignoreSet) add(file string, line int, analyzer string) {
+// ignoreSet maps (file, line, analyzer) triples to their annotation.
+type ignoreSet map[string]map[int]map[string]*ignoreAnn
+
+func (s ignoreSet) add(file string, line int, analyzer string, ann *ignoreAnn) {
 	byLine, ok := s[file]
 	if !ok {
-		byLine = map[int]map[string]bool{}
+		byLine = map[int]map[string]*ignoreAnn{}
 		s[file] = byLine
 	}
 	byAn, ok := byLine[line]
 	if !ok {
-		byAn = map[string]bool{}
+		byAn = map[string]*ignoreAnn{}
 		byLine[line] = byAn
 	}
-	byAn[analyzer] = true
+	byAn[analyzer] = ann
 }
 
 func (s ignoreSet) covers(f Finding) bool {
-	return s[f.Pos.Filename][f.Pos.Line][f.Analyzer]
+	ann := s[f.Pos.Filename][f.Pos.Line][f.Analyzer]
+	if ann == nil {
+		return false
+	}
+	ann.used = true
+	return true
 }
 
 // collectIgnores scans every comment for //xqlint:ignore annotations. An
 // annotation suppresses matching findings on its own line (trailing
-// comment) and on the next line (comment above the statement). It returns
-// the suppression set plus findings for malformed annotations.
-func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Finding) {
+// comment) and on the next line (comment above the statement). It
+// returns the suppression set, the annotations themselves (for the
+// unusedignore meta-check), and findings for malformed annotations —
+// missing reason, or naming an analyzer the suite does not have.
+func collectIgnores(fset *token.FileSet, files []*ast.File, known map[string]bool) (ignoreSet, []*ignoreAnn, []Finding) {
 	ign := ignoreSet{}
+	var anns []*ignoreAnn
 	var bad []Finding
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -185,14 +293,61 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Findin
 					})
 					continue
 				}
-				for _, an := range strings.Split(fields[0], ",") {
-					ign.add(pos.Filename, pos.Line, an)
-					ign.add(pos.Filename, pos.Line+1, an)
+				names := strings.Split(fields[0], ",")
+				unknown := false
+				for _, an := range names {
+					if !known[an] {
+						bad = append(bad, Finding{
+							Pos:      pos,
+							Analyzer: "xqlint",
+							Message:  fmt.Sprintf("ignore annotation names unknown analyzer %q", an),
+						})
+						unknown = true
+					}
+				}
+				if unknown {
+					continue
+				}
+				ann := &ignoreAnn{pos: pos, analyzers: names}
+				anns = append(anns, ann)
+				for _, an := range names {
+					ign.add(pos.Filename, pos.Line, an, ann)
+					ign.add(pos.Filename, pos.Line+1, an, ann)
 				}
 			}
 		}
 	}
-	return ign, bad
+	return ign, anns, bad
+}
+
+// jsonFinding is the pinned JSONL shape emitted by xqlint -json: one
+// object per line, fields in this order. Editor and CI integrations
+// parse it, so the format is frozen by TestWriteJSONPinned.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders findings as JSONL (one finding per line) for
+// editor/CI integration.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	enc := json.NewEncoder(w)
+	for _, f := range findings {
+		jf := jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		}
+		if err := enc.Encode(jf); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // funcFullName resolves the called function of a call expression to its

@@ -117,9 +117,12 @@ func TestFixtureNegatives(t *testing.T) {
 }
 
 // TestAnalyzerListStable pins the suite's composition: CI wiring and the
-// docs name these six analyzers.
+// docs name these eleven analyzers.
 func TestAnalyzerListStable(t *testing.T) {
-	want := []string{"determinism", "exhaustive", "nopanic", "floateq", "errignore", "ctxfirst"}
+	want := []string{
+		"determinism", "exhaustive", "nopanic", "floateq", "errignore", "ctxfirst",
+		"resetcomplete", "clonedeep", "maprange", "noalloc", "globalmut",
+	}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
@@ -131,5 +134,110 @@ func TestAnalyzerListStable(t *testing.T) {
 		if a.Doc == "" || a.Run == nil {
 			t.Errorf("analyzer %s missing doc or run function", a.Name)
 		}
+	}
+}
+
+// TestContractNegatives pins the clean contract fixtures: the complete
+// Reset (with delegation and a promoted field), the deep Clone (with the
+// repaired shallow copy), the collect-then-sort ranges, and the clean
+// noalloc chain must all stay silent.
+func TestContractNegatives(t *testing.T) {
+	pkgs, _ := loadFixture(t)
+	findings := Run(pkgs, DefaultConfig("fixturemod"), All())
+	for _, f := range findings {
+		for _, clean := range []string{"GoodShot", "GoodClone", "Keys", "PositiveKeys", "Mix", "Annotated"} {
+			if strings.Contains(f.Message, clean) {
+				t.Errorf("finding on clean fixture %s: %v", clean, f)
+			}
+		}
+		if filepath.Base(f.Pos.Filename) == "hotdep.go" {
+			t.Errorf("finding in clean package hotdep: %v", f)
+		}
+	}
+}
+
+// TestWriteJSONPinned freezes the JSONL shape emitted by xqlint -json:
+// one object per finding, fields in exactly this order.
+func TestWriteJSONPinned(t *testing.T) {
+	findings := []Finding{
+		{Analyzer: "maprange", Message: "range over a map"},
+		{Analyzer: "xqlint", Message: `names unknown analyzer "x"`},
+	}
+	findings[0].Pos.Filename = "internal/a/a.go"
+	findings[0].Pos.Line = 12
+	findings[0].Pos.Column = 2
+	findings[1].Pos.Filename = "internal/b/b.go"
+	findings[1].Pos.Line = 3
+	findings[1].Pos.Column = 1
+
+	var sb strings.Builder
+	if err := WriteJSON(&sb, findings); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"file":"internal/a/a.go","line":12,"col":2,"analyzer":"maprange","message":"range over a map"}
+{"file":"internal/b/b.go","line":3,"col":1,"analyzer":"xqlint","message":"names unknown analyzer \"x\""}
+`
+	if sb.String() != want {
+		t.Errorf("WriteJSON output changed; editor/CI integrations parse this format.\n--- want\n%s--- got\n%s", want, sb.String())
+	}
+}
+
+// TestParseEscapeOutput checks the -gcflags=-m filter: heap lines are
+// kept (with positions parsed), inlining chatter and package-banner
+// lines are dropped.
+func TestParseEscapeOutput(t *testing.T) {
+	out := `# fixturemod/internal/hot
+internal/hot/hot.go:14:6: can inline rot
+internal/hot/hot.go:23:11: make([]byte, n) escapes to heap
+internal/hot/hot.go:27:20: moved to heap: x
+internal/hot/hot.go:30: malformed line without a column
+not-a-go-file:1:2: escapes to heap
+internal/hot/hot.go:abc:2: escapes to heap
+`
+	diags := ParseEscapeOutput(out)
+	if len(diags) != 2 {
+		t.Fatalf("ParseEscapeOutput returned %d diags, want 2: %+v", len(diags), diags)
+	}
+	if diags[0].File != "internal/hot/hot.go" || diags[0].Line != 23 || diags[0].Col != 11 ||
+		diags[0].Message != "make([]byte, n) escapes to heap" {
+		t.Errorf("diag[0] = %+v", diags[0])
+	}
+	if diags[1].Line != 27 || diags[1].Message != "moved to heap: x" {
+		t.Errorf("diag[1] = %+v", diags[1])
+	}
+}
+
+// TestCrossCheckEscapes matches compiler diagnostics against the
+// fixture's //xqlint:noalloc spans: a heap line inside Grow becomes a
+// finding (with the compiler's module-relative path suffix-matched
+// against the loader's absolute one), lines outside any annotated span
+// or in other files do not.
+func TestCrossCheckEscapes(t *testing.T) {
+	pkgs, _ := loadFixture(t)
+
+	diags := []EscapeDiag{
+		{File: "internal/hot/hot.go", Line: 23, Col: 11, Message: "make([]byte, n) escapes to heap"},
+		{File: "internal/hot/hot.go", Line: 16, Col: 1, Message: "escapes to heap"}, // inside rot: not annotated
+		{File: "internal/hotdep/hotdep.go", Line: 10, Col: 1, Message: "moved to heap: x"},
+	}
+	findings := CrossCheckEscapes(pkgs, diags)
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Message)
+	}
+	want := []string{
+		"escape analysis contradicts //xqlint:noalloc on Grow: make([]byte, n) escapes to heap",
+		"escape analysis contradicts //xqlint:noalloc on Annotated: moved to heap: x",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("CrossCheckEscapes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if findings[0].Analyzer != "noalloc" {
+		t.Errorf("escape findings report under %q, want noalloc", findings[0].Analyzer)
 	}
 }

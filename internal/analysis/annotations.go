@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file implements the contract-annotation grammar shared by the
+// struct-contract analyzers (resetcomplete, clonedeep, noalloc):
+//
+//	//xqlint:persistent <reason>   on a struct field: the field is
+//	                               intentionally carried across shots and
+//	                               exempt from resetcomplete.
+//	//xqlint:shared <reason>       on a struct field: the field is an
+//	                               immutable table that Clone may alias,
+//	                               exempt from clonedeep.
+//	//xqlint:noalloc [note]        on a function declaration: the function
+//	                               (and everything it calls inside the
+//	                               module) must contain no allocation
+//	                               sites; enforced by the noalloc analyzer
+//	                               and cross-checked by xqlint -escapes.
+//
+// persistent and shared are suppressions, so their reason is mandatory —
+// a bare annotation is itself a finding, exactly like a reasonless
+// //xqlint:ignore.
+
+// fieldAnnotation reports whether a struct field carries the given
+// annotation key ("persistent" or "shared") in its doc or trailing
+// comment, and whether the annotation carries the mandatory reason.
+func fieldAnnotation(field *ast.Field, key string) (found, hasReason bool, pos token.Pos) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, ok := cutAnnotation(c.Text, key)
+			if !ok {
+				continue
+			}
+			return true, strings.TrimSpace(rest) != "", c.Pos()
+		}
+	}
+	return false, false, token.NoPos
+}
+
+// funcAnnotation reports whether a function declaration's doc comment
+// carries the given annotation key ("noalloc").
+func funcAnnotation(fd *ast.FuncDecl, key string) (found bool, pos token.Pos) {
+	if fd.Doc == nil {
+		return false, token.NoPos
+	}
+	for _, c := range fd.Doc.List {
+		if _, ok := cutAnnotation(c.Text, key); ok {
+			return true, c.Pos()
+		}
+	}
+	return false, token.NoPos
+}
+
+// cutAnnotation matches a comment of the form "//xqlint:<key>" or
+// "//xqlint:<key> <rest>" and returns the rest. A longer annotation name
+// sharing the prefix ("noallocX") does not match.
+func cutAnnotation(comment, key string) (rest string, ok bool) {
+	text := strings.TrimPrefix(comment, "//")
+	r, found := strings.CutPrefix(text, "xqlint:"+key)
+	if !found {
+		return "", false
+	}
+	if r != "" && r[0] != ' ' && r[0] != '\t' {
+		return "", false
+	}
+	return r, true
+}
+
+// structDeclOf locates the AST struct type declaring named inside the
+// pass's files, so field annotations can be read. Returns nil when the
+// type is declared in another package or is not a struct declaration.
+func structDeclOf(p *Pass, named *types.Named) *ast.StructType {
+	obj := named.Obj()
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || p.Info.Defs[ts.Name] != obj {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					return st
+				}
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// structFieldAnnotations maps each field name of the struct AST to its
+// annotation state for the given key; malformed (reasonless) annotations
+// are reported under the pseudo-analyzer "xqlint".
+func structFieldAnnotations(p *Pass, st *ast.StructType, key string) map[string]bool {
+	out := map[string]bool{}
+	for _, field := range st.Fields.List {
+		found, hasReason, pos := fieldAnnotation(field, key)
+		if !found {
+			continue
+		}
+		if !hasReason {
+			p.Reportf(pos, "xqlint",
+				"annotation //xqlint:%s needs a reason: //xqlint:%s <why>", key, key)
+			continue
+		}
+		for _, name := range field.Names {
+			out[name.Name] = true
+		}
+		if len(field.Names) == 0 { // embedded field
+			out[embeddedFieldName(field.Type)] = true
+		}
+	}
+	return out
+}
+
+// embeddedFieldName resolves an embedded field's implicit name.
+func embeddedFieldName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return embeddedFieldName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.IndexExpr:
+		return embeddedFieldName(e.X)
+	}
+	return ""
+}
+
+// recvNamedStruct resolves a method's receiver to its named struct type
+// (peeling one pointer) and the receiver variable, or ok=false when the
+// receiver is unnamed, blank, or not a struct.
+func recvNamedStruct(p *Pass, fd *ast.FuncDecl) (*types.Named, *types.Var, bool) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil, nil, false
+	}
+	name := fd.Recv.List[0].Names[0]
+	if name.Name == "_" {
+		return nil, nil, false
+	}
+	obj, ok := p.Info.Defs[name].(*types.Var)
+	if !ok {
+		return nil, nil, false
+	}
+	t := obj.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil, nil, false
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil, nil, false
+	}
+	return named, obj, true
+}
+
+// isRecvExpr reports whether e denotes the receiver variable itself,
+// through any nesting of parens and derefs ((*p), *(p)).
+func isRecvExpr(p *Pass, recv *types.Var, e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			return p.Info.Uses[x] == recv || p.Info.Defs[x] == recv
+		default:
+			return false
+		}
+	}
+}
+
+// rootField peels an expression down to the receiver field it is rooted
+// at — b.errFrame.Ops[i] roots at "errFrame", (*p).trace[:0] at "trace" —
+// returning "" when the expression is not rooted at the receiver. A
+// selection through an embedded field (l.Patches where Patches is
+// promoted from an embedded *Lattice) roots at the embedded field itself,
+// so mutating promoted state credits the field that carries it.
+func rootField(p *Pass, recv *types.Var, e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if isRecvExpr(p, recv, x.X) {
+				if f := promotedVia(p, recv, x); f != "" {
+					return f
+				}
+				return x.Sel.Name
+			}
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// promotedVia resolves a selection on the receiver that reaches its
+// target through an embedded field and returns that embedded field's
+// name ("" for a direct field or method, or when the selection is not
+// recorded). Index()[0] is the receiver struct's own field on the
+// promotion path.
+func promotedVia(p *Pass, recv *types.Var, sel *ast.SelectorExpr) string {
+	s, ok := p.Info.Selections[sel]
+	if !ok || len(s.Index()) < 2 {
+		return ""
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	strct, ok := t.Underlying().(*types.Struct)
+	if !ok || s.Index()[0] >= strct.NumFields() {
+		return ""
+	}
+	return strct.Field(s.Index()[0]).Name()
+}

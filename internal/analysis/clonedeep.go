@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// clonedeepAnalyzer enforces the per-worker clone contract from PR 7:
+// a method named Clone (no parameters, one result) must hand back an
+// object sharing no mutable state with its receiver, so one clone per
+// worker is race-free by construction. For every reference-typed field
+// (slice, map, pointer, chan, func, interface) the analyzer demands
+// deep-copy evidence and flags aliasing flows:
+//
+//   - a shallow receiver copy (n := *c) whose reference field is never
+//     reassigned on the copy,
+//   - a direct assignment or composite-literal entry whose right side is
+//     the receiver's field (out.buf = c.buf, T{buf: c.buf}),
+//   - the receiver's field passed to a non-builtin call, which may
+//     retain it (newCell(c.ref) — constructors routinely do),
+//   - returning the receiver itself.
+//
+// Reading a field (len/cap, copy's source, append's elements, a method
+// call on the field such as c.bs.Clone()) is not aliasing. Immutable
+// tables that clones deliberately share — compiled programs, geometry,
+// reference records — are annotated //xqlint:shared <reason> on the
+// field declaration.
+var clonedeepAnalyzer = &Analyzer{
+	Name: "clonedeep",
+	Doc:  "Clone methods must deep-copy every reference-typed field, or annotate it //xqlint:shared",
+	Run:  runClonedeep,
+}
+
+func runClonedeep(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Clone" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Type.Params != nil && len(fd.Type.Params.List) > 0 {
+				continue
+			}
+			if fd.Type.Results == nil || len(fd.Type.Results.List) != 1 {
+				continue
+			}
+			named, recv, ok := recvNamedStruct(p, fd)
+			if !ok {
+				continue
+			}
+			checkClone(p, fd, named, recv)
+		}
+	}
+}
+
+func checkClone(p *Pass, fd *ast.FuncDecl, named *types.Named, recv *types.Var) {
+	strct := named.Underlying().(*types.Struct)
+	refFields := map[string]bool{}
+	for i := 0; i < strct.NumFields(); i++ {
+		if isReferenceType(strct.Field(i).Type()) {
+			refFields[strct.Field(i).Name()] = true
+		}
+	}
+	if len(refFields) == 0 {
+		return
+	}
+	shared := map[string]bool{}
+	if st := structDeclOf(p, named); st != nil {
+		shared = structFieldAnnotations(p, st, "shared")
+	}
+
+	// aliased[f] is the position of the first aliasing flow for field f.
+	// copyAliased marks fields aliased via a whole-receiver copy, which a
+	// later reassignment on the copy (cleared) repairs; direct aliasing
+	// (out.f = c.f, calls retaining c.f) cannot be repaired after the fact.
+	aliased := map[string]token.Pos{}
+	copyAliased := map[string]token.Pos{}
+	cleared := map[string]bool{}
+	cloneVars := map[types.Object]bool{}
+
+	aliasAll := func(pos token.Pos) {
+		//xqlint:ignore maprange per-key first-write into a position map; no cross-key interaction
+		for f := range refFields {
+			if _, ok := copyAliased[f]; !ok {
+				copyAliased[f] = pos
+			}
+		}
+	}
+	markDirect := func(f string, pos token.Pos) {
+		if refFields[f] {
+			if _, ok := aliased[f]; !ok {
+				aliased[f] = pos
+			}
+		}
+	}
+	// aliasRHS reports the receiver field an expression aliases, peeling
+	// parens and reslices (c.f, (c.f), c.f[1:] all alias f). Indexing is
+	// an element read, and calls produce fresh values.
+	aliasRHS := func(e ast.Expr) string {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			case *ast.UnaryExpr:
+				if x.Op != token.AND {
+					return ""
+				}
+				e = x.X
+			case *ast.SelectorExpr:
+				if isRecvExpr(p, recv, x.X) {
+					return x.Sel.Name
+				}
+				return ""
+			default:
+				return ""
+			}
+		}
+	}
+	isRecvCopy := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if st, ok := e.(*ast.StarExpr); ok {
+			e = ast.Unparen(st.X)
+		}
+		return isRecvExpr(p, recv, e)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				rhs := n.Rhs[i]
+				// v := *c / v := c: shallow copy of the whole receiver.
+				if id, ok := lhs.(*ast.Ident); ok && n.Tok == token.DEFINE && isRecvCopy(rhs) {
+					if obj := p.Info.Defs[id]; obj != nil {
+						cloneVars[obj] = true
+					}
+					aliasAll(rhs.Pos())
+					continue
+				}
+				if f := aliasRHS(rhs); f != "" {
+					markDirect(f, rhs.Pos())
+					continue
+				}
+				// v.f = <fresh> on a shallow copy repairs the copy alias.
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && cloneVars[p.Info.Uses[id]] {
+						cleared[sel.Sel.Name] = true
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			// A receiver field stored into any composite literal — the
+			// clone's own struct or a config passed to a constructor —
+			// ends up retained by the result.
+			for _, elt := range n.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if f := aliasRHS(val); f != "" {
+					markDirect(f, val.Pos())
+				}
+			}
+		case *ast.CallExpr:
+			if p.Info.Types[n.Fun].IsType() {
+				// Conversion: T(c.f) of a reference still aliases.
+				for _, arg := range n.Args {
+					if f := aliasRHS(arg); f != "" {
+						markDirect(f, arg.Pos())
+					}
+				}
+				return true
+			}
+			builtin := builtinName(p, n)
+			switch builtin {
+			case "len", "cap", "clear", "delete", "min", "max", "print", "println":
+				return true // pure reads (or receiver-local mutation)
+			case "copy":
+				// copy(dst, c.f) reads the field; only flag a stored dst.
+				return true
+			case "append":
+				// append(c.f[:0:0], ...) allocates fresh backing; any
+				// other use of c.f as append's base keeps its array.
+				if len(n.Args) > 0 {
+					if f := aliasRHS(n.Args[0]); f != "" && !isFullReslice(n.Args[0]) {
+						markDirect(f, n.Args[0].Pos())
+					}
+				}
+				return true
+			}
+			// Method call on the field (c.bs.Clone()) is a read; but the
+			// field passed as an argument may be retained by the callee.
+			for _, arg := range n.Args {
+				if f := aliasRHS(arg); f != "" {
+					markDirect(f, arg.Pos())
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if isRecvCopy(res) {
+					aliasAll(res.Pos())
+					// Returning the receiver itself can never be cleared.
+					//xqlint:ignore maprange per-key first-write into a position map; no cross-key interaction
+					for f := range refFields {
+						if _, ok := aliased[f]; !ok {
+							aliased[f] = res.Pos()
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	//xqlint:ignore maprange findings are position-sorted by Run before display
+	for f := range refFields {
+		if shared[f] {
+			continue
+		}
+		pos, direct := aliased[f]
+		if !direct {
+			cpos, viaCopy := copyAliased[f]
+			if !viaCopy || cleared[f] {
+				continue
+			}
+			pos = cpos
+		}
+		p.Reportf(pos, "clonedeep",
+			"(%s).Clone aliases reference field %s; deep-copy it or annotate the field //xqlint:shared <reason>",
+			named.Obj().Name(), f)
+	}
+}
+
+// isReferenceType reports whether a field of this type, copied by value,
+// still shares mutable state with the original.
+func isReferenceType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// isFullReslice matches x[:0:0] — the reset-capacity idiom whose append
+// always allocates fresh backing.
+func isFullReslice(e ast.Expr) bool {
+	se, ok := ast.Unparen(e).(*ast.SliceExpr)
+	if !ok || !se.Slice3 {
+		return false
+	}
+	isZero := func(x ast.Expr) bool {
+		if x == nil {
+			return true
+		}
+		bl, ok := ast.Unparen(x).(*ast.BasicLit)
+		return ok && bl.Value == "0"
+	}
+	return isZero(se.Low) && isZero(se.High) && isZero(se.Max)
+}
+
+// builtinName returns the builtin a call invokes, or "".
+func builtinName(p *Pass, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}

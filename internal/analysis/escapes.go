@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// This file implements the -escapes cross-check: the noalloc analyzer is
+// an AST-level approximation, so xqlint -escapes corroborates it against
+// the compiler's actual escape analysis. cmd/xqlint runs
+// `go build -gcflags=-m` and feeds the diagnostic stream to
+// CrossCheckEscapes, which flags every heap allocation the compiler
+// reports inside a function annotated //xqlint:noalloc. The two gates
+// fail independently: the AST check catches a stray make the moment it
+// is typed, the escape check catches allocations the AST cannot see
+// (captured variables moved to the heap, boxing the compiler could not
+// elide), and the runtime AllocsPerRun tests catch whatever both miss.
+
+// EscapeDiag is one parsed `go build -gcflags=-m` diagnostic.
+type EscapeDiag struct {
+	File    string // as printed by the compiler (usually module-relative)
+	Line    int
+	Col     int
+	Message string
+}
+
+// ParseEscapeOutput extracts the heap-allocation diagnostics from a
+// -gcflags=-m output stream, dropping inlining chatter and non-heap
+// lines.
+func ParseEscapeOutput(out string) []EscapeDiag {
+	var diags []EscapeDiag
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) != 4 || !strings.HasSuffix(parts[0], ".go") {
+			continue
+		}
+		ln, err1 := strconv.Atoi(parts[1])
+		col, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		diags = append(diags, EscapeDiag{
+			File:    parts[0],
+			Line:    ln,
+			Col:     col,
+			Message: strings.TrimSpace(parts[3]),
+		})
+	}
+	return diags
+}
+
+// CrossCheckEscapes matches escape diagnostics against the spans of
+// //xqlint:noalloc functions in the loaded packages and returns a
+// finding for every heap allocation the compiler places inside one.
+func CrossCheckEscapes(pkgs []*LoadedPackage, diags []EscapeDiag) []Finding {
+	type span struct {
+		file       string
+		start, end int
+		fn         string
+	}
+	var spans []span
+	for _, lp := range pkgs {
+		for _, f := range lp.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if found, _ := funcAnnotation(fd, "noalloc"); !found {
+					continue
+				}
+				start := lp.Fset.Position(fd.Pos())
+				end := lp.Fset.Position(fd.End())
+				spans = append(spans, span{
+					file:  start.Filename,
+					start: start.Line,
+					end:   end.Line,
+					fn:    fd.Name.Name,
+				})
+			}
+		}
+	}
+	var findings []Finding
+	for _, d := range diags {
+		for _, s := range spans {
+			if d.Line < s.start || d.Line > s.end {
+				continue
+			}
+			if s.file != d.File && !strings.HasSuffix(s.file, "/"+d.File) {
+				continue
+			}
+			f := Finding{Analyzer: "noalloc"}
+			f.Pos.Filename = s.file
+			f.Pos.Line = d.Line
+			f.Pos.Column = d.Col
+			f.Message = "escape analysis contradicts //xqlint:noalloc on " + s.fn + ": " + d.Message
+			findings = append(findings, f)
+			break
+		}
+	}
+	return findings
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, path, content string) error {
+	t.Helper()
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// brokenLoader roots a loader at the deliberately-broken fixture module.
+func brokenLoader(t *testing.T) (*Loader, string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "brokenmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loader.ModulePath != "brokenmod" {
+		t.Fatalf("module path = %q, want brokenmod", loader.ModulePath)
+	}
+	return loader, dir
+}
+
+func TestLoadImportCycle(t *testing.T) {
+	loader, _ := brokenLoader(t)
+	// The cycle error surfaces through the type-checker's error handler:
+	// loading cyca re-enters Load(cycb), whose import of cyca hits the
+	// in-flight guard, and the loader error is recorded as a type error
+	// on the inner package (cycb) rather than aborting the outer load.
+	// What must not happen is an infinite recursion or a silent success
+	// on both packages.
+	for _, path := range []string{"brokenmod/internal/cyca", "brokenmod/internal/cycb"} {
+		lp, err := loader.Load(path)
+		if err != nil {
+			if !strings.Contains(err.Error(), "import cycle") {
+				t.Fatalf("Load(%s) error = %v, want import cycle", path, err)
+			}
+			return
+		}
+		for _, te := range lp.TypeErrors {
+			if strings.Contains(te.Error(), "import cycle") {
+				return
+			}
+		}
+	}
+	t.Fatal("neither cyca nor cycb reported the import cycle")
+}
+
+func TestLoadMissingPackage(t *testing.T) {
+	loader, _ := brokenLoader(t)
+	if _, err := loader.Load("brokenmod/internal/nonexistent"); err == nil {
+		t.Fatal("Load(nonexistent) succeeded, want error")
+	}
+	if _, err := loader.Load("brokenmod/internal/nogo"); err == nil ||
+		!strings.Contains(err.Error(), "no Go files") {
+		t.Fatalf("Load(nogo) error = %v, want no Go files", err)
+	}
+}
+
+func TestLoadMissingDependency(t *testing.T) {
+	loader, _ := brokenLoader(t)
+	lp, err := loader.Load("brokenmod/internal/missingdep")
+	if err == nil && (lp == nil || len(lp.TypeErrors) == 0) {
+		t.Fatal("Load(missingdep) reported neither an error nor TypeErrors for a nonexistent import")
+	}
+}
+
+func TestLoadTypeErrors(t *testing.T) {
+	loader, _ := brokenLoader(t)
+	lp, err := loader.Load("brokenmod/internal/typerr")
+	if err != nil {
+		t.Fatalf("Load(typerr) = %v; ill-typed packages must still load", err)
+	}
+	if len(lp.TypeErrors) == 0 {
+		t.Fatal("Load(typerr) reported no TypeErrors")
+	}
+	if lp.Pkg == nil {
+		t.Fatal("Load(typerr) returned nil Pkg")
+	}
+}
+
+// TestLoadParseError synthesizes its broken module at runtime: an
+// unparseable .go file cannot live under testdata, where gofmt -l (the
+// CI formatting gate) would choke on it.
+func TestLoadParseError(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeFile(t, filepath.Join(dir, "go.mod"), "module parsemod\n\ngo 1.21\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "bad"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(t, filepath.Join(dir, "bad", "bad.go"), "package bad\n\nfunc Broken( {\n"); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load("parsemod/bad"); err == nil {
+		t.Fatal("Load(parsemod/bad) succeeded, want syntax error")
+	}
+}
+
+func TestLoadMemoized(t *testing.T) {
+	loader, _ := brokenLoader(t)
+	a, err := loader.Load("brokenmod/internal/typerr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loader.Load("brokenmod/internal/typerr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Load is not memoized: two calls returned distinct packages")
+	}
+}
+
+func TestNewLoaderNoGoMod(t *testing.T) {
+	if _, err := NewLoader(t.TempDir()); err == nil {
+		t.Fatal("NewLoader on a bare temp dir succeeded, want no-go.mod error")
+	}
+}
+
+func TestNewLoaderNoModuleDirective(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "nodirective")
+	if _, err := NewLoader(dir); err == nil ||
+		!strings.Contains(err.Error(), "module directive") {
+		t.Fatalf("NewLoader(nodirective) error = %v, want missing module directive", err)
+	}
+}
+
+func TestExpandPatterns(t *testing.T) {
+	loader, dir := brokenLoader(t)
+
+	// A tree walk finds every package directory with Go files, skips the
+	// one without, and never descends into testdata/hidden dirs (none
+	// here, but the walk must terminate).
+	paths, err := loader.Expand([]string{dir + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, p := range paths {
+		got[p] = true
+	}
+	for _, want := range []string{
+		"brokenmod/internal/cyca",
+		"brokenmod/internal/cycb",
+		"brokenmod/internal/typerr",
+		"brokenmod/internal/missingdep",
+	} {
+		if !got[want] {
+			t.Errorf("Expand(%s/...) missing %s (got %v)", dir, want, paths)
+		}
+	}
+	if got["brokenmod/internal/nogo"] {
+		t.Error("Expand included the Go-less directory nogo")
+	}
+
+	// Import-path patterns resolve without touching the filesystem shape,
+	// and duplicates collapse.
+	paths, err = loader.Expand([]string{
+		"brokenmod/internal/typerr",
+		"brokenmod/internal/typerr",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || paths[0] != "brokenmod/internal/typerr" {
+		t.Errorf("Expand(dup import path) = %v, want one typerr entry", paths)
+	}
+
+	// A directory pattern for a package without Go files is an error.
+	if _, err := loader.Expand([]string{filepath.Join(dir, "internal", "nogo")}); err == nil {
+		t.Error("Expand(nogo dir) succeeded, want no-Go-files error")
+	}
+
+	// A directory outside the module (but holding Go files, so it gets
+	// past the no-Go-files check) is rejected by importPathOf.
+	outside := t.TempDir()
+	if err := writeFile(t, filepath.Join(outside, "x.go"), "package x\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Expand([]string{outside}); err == nil ||
+		!strings.Contains(err.Error(), "outside module") {
+		t.Errorf("Expand(outside dir) error = %v, want outside-module error", err)
+	}
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// maprangeAnalyzer closes the map-iteration hole the determinism
+// analyzer (imports and wall-clock only) does not cover: Go randomizes
+// map iteration order on purpose, so a `range` over a map in a
+// simulation package makes output depend on the run, not the seed —
+// exactly the nondeterminism the (config, seed) reproduction contract
+// forbids. The one sanctioned direct use is the collect-then-sort idiom:
+// a range body that only appends keys/values to slices which are then
+// passed to sort.* or slices.Sort* later in the same function is
+// order-insensitive by construction and allowed. Anything else is a
+// finding; genuinely order-insensitive bodies (pure counting, max over
+// a commutative monoid) are annotated
+// //xqlint:ignore maprange <why order cannot matter>.
+var maprangeAnalyzer = &Analyzer{
+	Name: "maprange",
+	Doc:  "no range over a map in simulation packages unless keys are collected and sorted, or annotated order-insensitive",
+	Run:  runMaprange,
+}
+
+func runMaprange(p *Pass) {
+	if !p.Cfg.isSimPackage(p.RelPath) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); !ok {
+					return true
+				}
+				if isCollectThenSort(p, fd, rs) {
+					return true
+				}
+				p.Reportf(rs.Pos(), "maprange",
+					"range over a map in a simulation package iterates in randomized order; collect and sort the keys, or annotate //xqlint:ignore maprange <why order cannot matter>")
+				return true
+			})
+		}
+	}
+}
+
+// isCollectThenSort recognizes the sanctioned idiom: every statement in
+// the range body appends to slice variables (possibly behind a filter
+// `if` — collect-if-then-sort is as common as the bare form), and at
+// least one of those slices is later passed to a sort call in the same
+// function.
+func isCollectThenSort(p *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	var collected []types.Object
+	var collectOnly func(stmt ast.Stmt) bool
+	collectOnly = func(stmt ast.Stmt) bool {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || builtinName(p, call) != "append" {
+				return false
+			}
+			id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+			if !ok {
+				return false
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil {
+				obj = p.Info.Defs[id]
+			}
+			if obj == nil {
+				return false
+			}
+			collected = append(collected, obj)
+			return true
+		case *ast.BlockStmt:
+			for _, st := range s.List {
+				if !collectOnly(st) {
+					return false
+				}
+			}
+			return true
+		case *ast.IfStmt:
+			// The condition is a pure filter; an Init statement could
+			// smuggle in arbitrary effects, so it disqualifies.
+			if s.Init != nil {
+				return false
+			}
+			if !collectOnly(s.Body) {
+				return false
+			}
+			return s.Else == nil || collectOnly(s.Else)
+		default:
+			return false
+		}
+	}
+	for _, stmt := range rs.Body.List {
+		if !collectOnly(stmt) {
+			return false
+		}
+	}
+	if len(collected) == 0 {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		name := funcFullName(p.Info, call)
+		if !strings.HasPrefix(name, "sort.") && !strings.HasPrefix(name, "slices.Sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			id, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			for _, obj := range collected {
+				if p.Info.Uses[id] == obj {
+					sorted = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return sorted
+}

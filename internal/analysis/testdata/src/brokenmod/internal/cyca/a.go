@@ -1,0 +1,7 @@
+// Package cyca is half of an import cycle: the loader must report the
+// cycle instead of recursing forever.
+package cyca
+
+import "brokenmod/internal/cycb"
+
+func A() int { return cycb.B() }

@@ -1,0 +1,6 @@
+// Package cycb is the other half of the import cycle.
+package cycb
+
+import "brokenmod/internal/cyca"
+
+func B() int { return cyca.A() }

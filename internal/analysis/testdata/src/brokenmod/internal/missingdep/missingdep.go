@@ -1,0 +1,7 @@
+// Package missingdep imports a module-internal package that does not
+// exist: the loader must surface the missing dependency.
+package missingdep
+
+import "brokenmod/internal/nonexistent"
+
+func M() int { return nonexistent.X }

@@ -1,0 +1,8 @@
+// Package typerr type-checks with errors: the loader must still return
+// the package, carrying the complaints in TypeErrors.
+package typerr
+
+func Bad() int {
+	var s string = 42
+	return s
+}

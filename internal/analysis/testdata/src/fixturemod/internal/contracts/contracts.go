@@ -1,0 +1,91 @@
+// Package contracts exercises resetcomplete and clonedeep: complete and
+// incomplete Reset methods, deep and aliasing Clone methods, the
+// persistent/shared annotations, and the reasonless-annotation finding.
+package contracts
+
+// GoodShot resets every field, partly by delegating to a helper method
+// and partly through a promoted field on the embedded core.
+type GoodShot struct {
+	core  // embedded: Reset touches its promoted Trace field
+	ticks int
+	buf   []byte
+	prog  []byte //xqlint:persistent compiled program, fixed at construction
+}
+
+type core struct {
+	Trace []int
+}
+
+func (g *GoodShot) Reset() {
+	g.ticks = 0
+	g.zeroBuf()
+	g.Trace = g.Trace[:0] // promoted through core
+}
+
+func (g *GoodShot) zeroBuf() {
+	for i := range g.buf {
+		g.buf[i] = 0
+	}
+}
+
+// BadShot forgets its skipped field: resetcomplete finding.
+type BadShot struct {
+	ticks   int
+	skipped []byte
+}
+
+func (b *BadShot) Reset() { b.ticks = 0 }
+
+// Reasonless carries a bare //xqlint:persistent: the annotation itself
+// is an xqlint finding, and the field still counts as unreset.
+type Reasonless struct {
+	ticks int
+	geom  []int //xqlint:persistent
+}
+
+func (r *Reasonless) Reset() { r.ticks = 0 }
+
+// GoodClone deep-copies its slice, shares its annotated table, and
+// repairs a shallow receiver copy by reassigning the map.
+type GoodClone struct {
+	buf   []byte
+	seen  map[int]bool
+	table []int //xqlint:shared immutable lookup table built at construction
+}
+
+func (g *GoodClone) Clone() *GoodClone {
+	n := *g
+	n.buf = append(g.buf[:0:0], g.buf...)
+	n.seen = make(map[int]bool, len(g.seen))
+	return &n
+}
+
+// BadClone aliases its slice straight into the result: clonedeep finding.
+type BadClone struct {
+	buf []byte
+}
+
+func (b *BadClone) Clone() *BadClone {
+	return &BadClone{buf: b.buf}
+}
+
+// LeakyCopy takes a shallow receiver copy and never repairs the
+// reference field: clonedeep finding at the copy.
+type LeakyCopy struct {
+	refs map[string]int
+}
+
+func (l *LeakyCopy) Clone() *LeakyCopy {
+	n := *l
+	return &n
+}
+
+// SharedBare has a reasonless //xqlint:shared: xqlint finding, and the
+// field is still held to the deep-copy contract.
+type SharedBare struct {
+	tab []int //xqlint:shared
+}
+
+func (s *SharedBare) Clone() *SharedBare {
+	return &SharedBare{tab: s.tab}
+}

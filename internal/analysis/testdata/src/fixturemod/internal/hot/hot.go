@@ -1,0 +1,36 @@
+// Package hot exercises noalloc: allocation sites inside annotated
+// functions, transitive same-package callees, and the cross-package
+// registry (calls into hotdep).
+package hot
+
+import "fixturemod/internal/hotdep"
+
+// Mix is clean: arithmetic, a same-package helper that is itself clean,
+// and an annotated cross-package callee. No findings.
+//
+//xqlint:noalloc hot-path fixture
+func Mix(x uint64) uint64 {
+	return rot(hotdep.Annotated(x))
+}
+
+func rot(x uint64) uint64 { return x<<7 | x>>57 }
+
+// Grow allocates directly (make) and through a same-package helper
+// (new): two findings, the second attributed via the transitive walk.
+//
+//xqlint:noalloc fixture with violations
+func Grow(n int) []byte {
+	b := make([]byte, n)
+	leak()
+	return b
+}
+
+func leak() *int { return new(int) }
+
+// CallsPlain calls an unannotated function in another module package:
+// finding, the registry cannot vouch for it.
+//
+//xqlint:noalloc cross-package violation fixture
+func CallsPlain(x uint64) uint64 {
+	return hotdep.Plain(x)
+}

@@ -1,0 +1,17 @@
+// Package hotdep is the callee side of the noalloc cross-package test:
+// hot's annotated functions may call Annotated (it carries its own
+// annotation, so the guarantee composes) but not Plain.
+package hotdep
+
+// Annotated is allocation-free and says so.
+//
+//xqlint:noalloc callee side of the cross-package chain
+func Annotated(x uint64) uint64 {
+	return x*6364136223846793005 + 1442695040888963407
+}
+
+// Plain is also allocation-free but carries no annotation, so a noalloc
+// caller in another package cannot rely on it.
+func Plain(x uint64) uint64 {
+	return x ^ x>>17
+}

@@ -1,0 +1,78 @@
+// Package simstate exercises maprange and globalmut: the bare map range,
+// the collect-then-sort idiom (plain and if-filtered), the
+// order-insensitive annotation, package-variable writes, and the init
+// and sync exemptions.
+package simstate
+
+import (
+	"sort"
+	"sync"
+)
+
+// Sum ranges over a map directly: maprange finding.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Keys collects then sorts: the sanctioned idiom, no finding.
+func Keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// PositiveKeys filters inside the range body before sorting: still the
+// collect-then-sort idiom, no finding.
+func PositiveKeys(m map[string]int) []string {
+	var ks []string
+	for k, v := range m {
+		if v > 0 {
+			ks = append(ks, k)
+		}
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Count is annotated order-insensitive: no finding.
+func Count(m map[string]int) int {
+	n := 0
+	//xqlint:ignore maprange fixture: pure counting, order cannot matter
+	for range m {
+		n++
+	}
+	return n
+}
+
+// table is written only at declaration and in init: no finding.
+var table = map[string]int{"a": 1}
+
+func init() {
+	table["b"] = 2
+}
+
+// hits is mutated from an ordinary function: globalmut finding.
+var hits int
+
+func Record() {
+	hits++
+}
+
+// mu is sync machinery used at package level: exempt, no finding on the
+// Lock/Unlock calls (they are method calls, not assignments anyway).
+var mu sync.Mutex
+
+// Guarded writes the package map under an annotation: suppressed.
+func Guarded(k string, v int) {
+	mu.Lock()
+	//xqlint:ignore globalmut fixture: guarded by mu
+	table[k] = v
+	mu.Unlock()
+}

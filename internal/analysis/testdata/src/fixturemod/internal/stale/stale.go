@@ -1,0 +1,16 @@
+// Package stale exercises the annotation meta-checks: a well-formed
+// ignore that suppresses nothing (unusedignore) and an ignore naming an
+// analyzer the suite does not have (xqlint).
+package stale
+
+// Fine is clean code wearing a stale suppression: unusedignore finding.
+func Fine(x int) int {
+	//xqlint:ignore floateq fixture: stale, nothing here compares floats
+	return x + 1
+}
+
+// Typo names a nonexistent analyzer: xqlint finding.
+func Typo(x int) int {
+	//xqlint:ignore floateqq fixture: misspelled analyzer name
+	return x + 2
+}

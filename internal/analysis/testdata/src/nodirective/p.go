@@ -1,0 +1,3 @@
+// Package p sits in a module whose go.mod has no module directive:
+// NewLoader must reject it.
+package p

@@ -34,6 +34,7 @@ func (b *Builder) InitPlus(q int) *Builder {
 // Rotate appends PPR(angle, P) with P given as single-qubit factors.
 func (b *Builder) Rotate(angle ftqc.Angle, neg bool, factors map[int]pauli.Pauli) *Builder {
 	p := pauli.NewProduct(b.c.NLQ)
+	//xqlint:ignore maprange each factor writes its own slot of a dense product; order cannot matter
 	for q, op := range factors {
 		if q < 0 || q >= b.c.NLQ {
 			//xqlint:ignore nopanic API-misuse guard: Builder callers pass literal qubit indices

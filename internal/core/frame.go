@@ -34,14 +34,14 @@ type FrameMemoryCell struct {
 	// is noise-free, so its flips are the accumulated data-error
 	// parities, the same telescoped detection-event sum the
 	// window-parity decode uses.)
-	zMis []int
-	zAnc []surface.Coord
+	zMis []int           //xqlint:shared immutable decode indices built at construction
+	zAnc []surface.Coord //xqlint:shared immutable decode indices built at construction
 	// logicalMis are the data-readout measurement indices on the
 	// logical-Z support.
-	logicalMis []int
+	logicalMis []int //xqlint:shared immutable decode indices built at construction
 	// refMask broadcasts each reference bit across all 64 lanes, so
 	// flip column = record column XOR refMask.
-	refMask []uint64
+	refMask []uint64 //xqlint:shared write-once reference mask shared by every worker
 
 	syn   *decoder.SyndromeBitmap
 	sc    decoder.Scratch

@@ -117,8 +117,8 @@ func runOneShot(ctx context.Context, res *compiler.Result, nLQ, d int, physError
 // A runner is single-goroutine; Clone gives each worker its own pipeline
 // over the shared compiled artifacts.
 type ShotRunner struct {
-	res  *compiler.Result
-	cp   *microarch.CompiledProgram
+	res  *compiler.Result           //xqlint:shared compile result is immutable after Compile
+	cp   *microarch.CompiledProgram //xqlint:shared compiled op-stream is immutable; workers replay it read-only
 	nLQ  int
 	seed int64
 	opts RunOptions

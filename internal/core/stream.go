@@ -67,12 +67,12 @@ type StreamMemoryCell struct {
 	// zOff[k] is the k-th Z-stabilizer's index within one round's
 	// measurement block (round r measures it at r*roundLen+zOff[k]);
 	// zAnc[k] its plaquette cell.
-	zOff     []int
-	zAnc     []surface.Coord
+	zOff     []int           //xqlint:shared immutable decode indices built at construction
+	zAnc     []surface.Coord //xqlint:shared immutable decode indices built at construction
 	roundLen int
 	// logicalMis and refMask are as in FrameMemoryCell.
-	logicalMis []int
-	refMask    []uint64
+	logicalMis []int    //xqlint:shared immutable decode indices built at construction
+	refMask    []uint64 //xqlint:shared write-once reference mask shared by every worker
 
 	sd     *decoder.StreamDecoder
 	events *decoder.SyndromeBitmap

@@ -15,7 +15,7 @@ import (
 // it is a word clear instead of a map reallocation.
 type SyndromeBitmap struct {
 	// Stride is the ancilla-grid width, d+1.
-	Stride int
+	Stride int //xqlint:persistent grid geometry, reshaped only by Resize
 	// Words holds the bits, least-significant bit first.
 	Words []uint64
 }
@@ -44,6 +44,8 @@ func (b *SyndromeBitmap) Resize(c surface.Code) {
 }
 
 // Reset clears every bit.
+//
+//xqlint:noalloc word clear over existing backing
 func (b *SyndromeBitmap) Reset() {
 	for i := range b.Words {
 		b.Words[i] = 0
@@ -56,6 +58,8 @@ func (b *SyndromeBitmap) index(p surface.Coord) int {
 }
 
 // Set marks plaquette p non-trivial.
+//
+//xqlint:noalloc single word OR on the syndrome fill path
 func (b *SyndromeBitmap) Set(p surface.Coord) {
 	i := b.index(p)
 	b.Words[i>>6] |= 1 << uint(i&63)
@@ -78,6 +82,8 @@ func (b *SyndromeBitmap) Get(p surface.Coord) bool {
 // accumulation of the streaming decoder: XORing per-round events
 // telescopes to the net flip parity, so the accumulated bitmap is always
 // the whole-stream syndrome regardless of how rounds are windowed.
+//
+//xqlint:noalloc word-wise fold on the streaming path
 func (b *SyndromeBitmap) Xor(other *SyndromeBitmap) {
 	for i := range b.Words {
 		b.Words[i] ^= other.Words[i]
@@ -112,6 +118,7 @@ func (b *SyndromeBitmap) AppendCells(dst []surface.Coord) []surface.Coord {
 // ignored, matching DecodePatch's treatment of explicit-false entries).
 func (b *SyndromeBitmap) FromMap(m map[surface.Coord]bool) {
 	b.Reset()
+	//xqlint:ignore maprange each key sets its own bit; the bitmap is order-insensitive
 	for p, on := range m {
 		if on {
 			b.Set(p)

@@ -463,6 +463,7 @@ var patchPool = sync.Pool{New: func() any { return new(patchState) }}
 func DecodePatch(c surface.Code, basis pauli.Pauli, syndrome map[surface.Coord]bool) Result {
 	st := patchPool.Get().(*patchState)
 	st.bm.Resize(c)
+	//xqlint:ignore maprange each key sets its own bit; DecodePatchInto scans the bitmap row-major
 	for p, on := range syndrome {
 		if on {
 			st.bm.Set(p)

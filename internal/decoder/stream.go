@@ -70,8 +70,8 @@ type StreamStats struct {
 // A StreamDecoder is single-goroutine; Reset rewinds it for the next
 // shot with zero steady-state allocations.
 type StreamDecoder struct {
-	cfg     StreamConfig
-	backend Backend
+	cfg     StreamConfig //xqlint:persistent stream configuration, fixed by NewStreamDecoder
+	backend Backend      //xqlint:persistent decode backend; its scratch is overwritten by each window decode
 	buf     faults.BacklogTracker
 
 	cum     *SyndromeBitmap // XOR of every accepted round's events

@@ -16,8 +16,8 @@ package faults
 type BacklogTracker struct {
 	// Capacity is the buffer size in ESM rounds (0 = unbounded); Policy
 	// selects the overflow behaviour.
-	Capacity int
-	Policy   Policy
+	Capacity int    //xqlint:persistent configuration; Reset keeps it by documented contract
+	Policy   Policy //xqlint:persistent configuration; Reset keeps it by documented contract
 
 	backlog      int
 	pendingDrops int
@@ -31,6 +31,8 @@ func NewBacklogTracker(capacityRounds int, policy Policy) BacklogTracker {
 }
 
 // Add queues n more rounds behind the decoder.
+//
+//xqlint:noalloc per-round accounting
 func (t *BacklogTracker) Add(n int) {
 	if n > 0 {
 		t.backlog += n
@@ -92,6 +94,8 @@ func (t *BacklogTracker) Totals() Totals { return t.totals }
 
 // Reset drains the buffer and clears the accounting, keeping the
 // configuration.
+//
+//xqlint:noalloc plain field zeroing
 func (t *BacklogTracker) Reset() {
 	t.backlog = 0
 	t.pendingDrops = 0

@@ -185,7 +185,7 @@ type WindowOutcome struct {
 // use; every simulation (pipeline run or memory trial) owns its own
 // injector, exactly as it owns its own noise models.
 type Injector struct {
-	cfg Config
+	cfg Config //xqlint:persistent injector configuration; Reset rewinds streams, not config
 	rng *xrand.Rand
 
 	// buf models the syndrome buffer: rounds queued behind the decoder,

@@ -34,7 +34,7 @@ import (
 // Backend is the noisy quantum substrate under the control processor.
 type Backend struct {
 	Layout *surface.PPRLayout
-	Code   surface.Code
+	Code   surface.Code //xqlint:persistent code geometry, fixed at construction
 
 	// tab covers, for each logical-qubit block (nLQ+2 of them), the cross
 	// of the canonical logical-Z and logical-X supports (tabBlock = 2d-1
@@ -47,9 +47,9 @@ type Backend struct {
 	// tabBlock is the tracked sites per block; tabOff maps a compact
 	// tableau index (mod tabBlock) to its patch-local site offset
 	// (row*d+col); tabIdx is the inverse (-1 for untracked sites).
-	tabBlock int
-	tabOff   []int
-	tabIdx   []int
+	tabBlock int   //xqlint:persistent compact-tableau geometry, derived from the code distance
+	tabOff   []int //xqlint:persistent compact-tableau geometry, derived from the code distance
+	tabIdx   []int //xqlint:persistent compact-tableau geometry, derived from the code distance
 
 	// errFrame and pfFrame cover the data qubits of every patch
 	// (numPatches * d^2), indexed patch*d*d + row*d + col.
@@ -59,28 +59,28 @@ type Backend struct {
 	dataNoise *noise.Model
 	measNoise *noise.Model
 
-	stabs []surface.Stabilizer // per-patch stabilizer template
+	stabs []surface.Stabilizer //xqlint:persistent per-patch stabilizer template, fixed at construction
 	// condStabs are the seam boundary checks that activate when a side
 	// becomes a Z&X merge seam (surface.ConditionalStabilizers).
-	condStabs []surface.ConditionalStabilizer
+	condStabs []surface.ConditionalStabilizer //xqlint:persistent seam-check templates, fixed at construction
 	// stabDataIdx / condDataIdx are the stabilizer supports flattened to
 	// frame offsets (row*d+col), precomputed so the per-round parity scan
 	// avoids re-deriving indices for every check of every patch.
-	stabDataIdx [][]int
-	condDataIdx [][]int
+	stabDataIdx [][]int //xqlint:persistent precomputed support offsets, fixed at construction
+	condDataIdx [][]int //xqlint:persistent precomputed support offsets, fixed at construction
 
 	// Reusable decode state: syndromes are bit-packed per window and the
 	// decoder's scratch buffers persist across windows, keeping the
 	// simulate->decode inner loop allocation-free.
-	synBM  *decoder.SyndromeBitmap
-	decSc  decoder.Scratch
-	decRes decoder.Result
+	synBM  *decoder.SyndromeBitmap //xqlint:persistent decode scratch, rebuilt per window
+	decSc  decoder.Scratch         //xqlint:persistent decode scratch, overwritten per decode
+	decRes decoder.Result          //xqlint:persistent decode scratch, overwritten per decode
 	// dec, when set, replaces the direct DecodePatchInto call with a
 	// pluggable decode backend whose modeled cycle cost FinishWindow
 	// reports in WindowDecode.DecoderCycles. nil keeps the exact matcher
 	// on the historical zero-cost path (the pipeline then prices the
 	// window purely from DecodeWindowCycles).
-	dec decoder.Backend
+	dec decoder.Backend //xqlint:persistent configured decode backend, not shot state
 
 	// synActive marks patches with a live syndrome baseline; the three
 	// per-patch slabs below are allocated once for every lattice position
@@ -89,13 +89,13 @@ type Backend struct {
 	// prevSyn holds the previous round's syndrome per active patch,
 	// indexed by stabilizer template position (regular checks first,
 	// then conditional seam checks).
-	prevSyn [][]bool
+	prevSyn [][]bool //xqlint:persistent re-zeroed on patch activation (Reset clears synActive)
 	// eventAcc accumulates detection-event parity over the current
 	// decode window.
-	eventAcc [][]bool
+	eventAcc [][]bool //xqlint:persistent re-zeroed on patch activation (Reset clears synActive)
 	// condWasActive tracks seam-check liveness so a check switching on
 	// mid-merge re-baselines instead of firing a stale event.
-	condWasActive [][]bool
+	condWasActive [][]bool //xqlint:persistent re-zeroed on patch activation (Reset clears synActive)
 	// Quiet-round fast path: at realistic error rates almost every
 	// patch-round has no new data errors, no measurement-error hit, and an
 	// unchanged check set, in which case the syndrome scan is a provable
@@ -111,8 +111,8 @@ type Backend struct {
 	// that errFrame changed since the last scan.
 	chkSig     []uint32
 	chkEpoch   []uint64
-	chkList    []*checkList
-	chkLists   map[uint32]*checkList
+	chkList    []*checkList          //xqlint:persistent stale entries are unreachable: Reset invalidates every chkSig
+	chkLists   map[uint32]*checkList //xqlint:persistent memoized by signature, deliberately survives Reset
 	cleanPrev  []bool
 	frameDirty []bool
 	// eventCount[patch] is the number of pending detection events in
@@ -123,15 +123,15 @@ type Backend struct {
 	// Reusable measurement scratch (MeasureProductDetail's operator
 	// strings) and noise-site buffer; both grow to their steady-state
 	// capacity within one shot and are reused thereafter.
-	mTqs    []int
-	mTops   []pauli.Pauli
-	mFqs    []int
-	mFops   []pauli.Pauli
-	siteBuf []int
+	mTqs    []int         //xqlint:persistent reusable scratch, overwritten before each use
+	mTops   []pauli.Pauli //xqlint:persistent reusable scratch, overwritten before each use
+	mFqs    []int         //xqlint:persistent reusable scratch, overwritten before each use
+	mFops   []pauli.Pauli //xqlint:persistent reusable scratch, overwritten before each use
+	siteBuf []int         //xqlint:persistent reusable scratch, overwritten before each use
 	// logicalZSup/logicalXSup cache the canonical logical operator
 	// supports (they depend only on the code distance).
-	logicalZSup []surface.Coord
-	logicalXSup []surface.Coord
+	logicalZSup []surface.Coord //xqlint:persistent derived from the code distance only
+	logicalXSup []surface.Coord //xqlint:persistent derived from the code distance only
 	// tabVirgin[lq] records that lq's tableau block has not been touched
 	// since it was last known to be |0...0> (fresh tableau or a completed
 	// PrepareZero). Resetting a virgin block is an exact no-op — every
@@ -141,8 +141,8 @@ type Backend struct {
 	tabVirgin []bool
 	// wdMatchesZ/wdMatchesX back the match slices of the WindowDecode
 	// FinishWindow returns; they are valid until the next FinishWindow.
-	wdMatchesZ []decoder.Match
-	wdMatchesX []decoder.Match
+	wdMatchesZ []decoder.Match //xqlint:persistent result backing, overwritten by the next FinishWindow
+	wdMatchesX []decoder.Match //xqlint:persistent result backing, overwritten by the next FinishWindow
 
 	// dropNextRound marks the next syndrome round's detection events as
 	// lost to a fault (buffer overflow or cross-temperature link loss):

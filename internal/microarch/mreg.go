@@ -19,6 +19,8 @@ type MregFile struct {
 }
 
 // Set writes value into register r and marks it written.
+//
+//xqlint:noalloc bitset write, per-instruction hot path
 func (f *MregFile) Set(r uint16, value bool) {
 	w, b := r>>6, uint64(1)<<(r&63)
 	f.set[w] |= b
@@ -62,6 +64,8 @@ func (f *MregFile) Range(fn func(r uint16, value bool)) {
 }
 
 // Reset clears every register.
+//
+//xqlint:noalloc memset of fixed arrays between shots
 func (f *MregFile) Reset() {
 	for i := range f.set {
 		f.set[i] = 0

@@ -3,6 +3,7 @@ package microarch
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"xqsim/internal/decoder"
 	"xqsim/internal/faults"
@@ -132,7 +133,7 @@ type Pipeline struct {
 	B   *Backend
 	M   Metrics
 
-	nLQ int // machine width (data + 2 resource qubits)
+	nLQ int //xqlint:persistent machine width (data + 2 resource qubits), fixed at construction
 
 	// LMU architectural state.
 	byproduct    pauli.Product // byproduct register (phase-free)
@@ -153,7 +154,7 @@ type Pipeline struct {
 	lqmScratch pauli.Product
 
 	// Optional per-instruction trace (EnableTrace).
-	traceOn bool
+	traceOn bool //xqlint:persistent trace enablement is a config toggle, deliberately survives Reset
 	trace   []TraceEvent
 
 	// inj is the fault-injection scheduler (nil when Cfg.Faults injects
@@ -428,15 +429,21 @@ func (p *Pipeline) execSplitInfo() {
 	p.pendingRegion = make(map[int]bool)
 }
 
+// regionSlice returns the pending region's patch indices in ascending
+// order: the region comes out of a map, and downstream consumers
+// (ApplySplit, InitIntermediates) walk it while touching backend state,
+// so the order must be a function of the seed, not the run.
 func (p *Pipeline) regionSlice() []int {
 	out := make([]int, 0, len(p.pendingRegion))
 	for idx := range p.pendingRegion {
 		out = append(out, idx)
 	}
+	sort.Ints(out)
 	return out
 }
 
-// intermediates lists the routing patches of the pending region.
+// intermediates lists the routing patches of the pending region, in
+// ascending order for the same reason as regionSlice.
 func (p *Pipeline) intermediates() []int {
 	var out []int
 	for idx := range p.pendingRegion {
@@ -444,6 +451,7 @@ func (p *Pipeline) intermediates() []int {
 			out = append(out, idx)
 		}
 	}
+	sort.Ints(out)
 	return out
 }
 

@@ -78,6 +78,8 @@ func (m *Model) AppendSites(dst []int, n int) []int {
 // would start from, without reallocating. This is the scratch-reuse hook:
 // resetting a model between shots reproduces a fresh model's draws
 // bit-for-bit.
+//
+//xqlint:noalloc stream rewind between shots
 func (m *Model) Reseed(seed int64) {
 	m.rng.Seed(seed)
 	m.gap = -1

@@ -211,9 +211,9 @@ func (c *Circuit) CompileFrame() (*FrameProgram, error) {
 // shot indices, and Seek repositions the cursor at O(1) cost (blocks
 // are self-seeded, so no state has to be replayed).
 type BatchFrameSampler struct {
-	prog    *FrameProgram
+	prog    *FrameProgram //xqlint:shared compiled op-stream is write-once; clones replay it read-only
 	seed    int64
-	ref     []bool
+	ref     []bool   //xqlint:shared noiseless reference record is write-once
 	refMask []uint64 // per measurement: all-ones when the reference bit is 1
 	xf, zf  []uint64 // bit-sliced frame components, one word per qubit
 	cols    []uint64 // current block's record columns, one word per measurement
@@ -293,6 +293,8 @@ func (bs *BatchFrameSampler) Seek(shot int) {
 // runBlock propagates the 64 frames of one shot block through the
 // compiled stream, leaving the block's raw record columns in bs.cols:
 // bit lane j of cols[mi] is measurement mi of shot block*64+j.
+//
+//xqlint:noalloc the 64-shot frame propagation inner loop
 func (bs *BatchFrameSampler) runBlock(block int) {
 	if bs.cur == block {
 		return
@@ -410,6 +412,8 @@ func (bs *BatchFrameSampler) SampleInto(n int, fn func(shot int, rec []bool)) {
 // transposeBlock converts the current block's record columns into
 // per-shot rows: after the call, bit mi&63 of
 // rows[lane*chunks + mi>>6] is measurement mi of shot lane.
+//
+//xqlint:noalloc scratch is a fixed-size stack array
 func (bs *BatchFrameSampler) transposeBlock(chunks int) {
 	var buf [64]uint64
 	for c := 0; c < chunks; c++ {

@@ -450,13 +450,13 @@ func esmFromBasis(b pauli.Pauli) ESMType {
 // qubits for the 3-logical-qubit d=3 validation benchmark.
 type PPRLayout struct {
 	*Lattice
-	NLQ      int
-	AncillaP int // patch index reserved for the |0> ancilla (Q_A)
-	MagicP   int // patch index reserved for the resource state (Q_M)
+	NLQ      int //xqlint:persistent layout geometry, fixed at construction
+	AncillaP int //xqlint:persistent patch index reserved for the |0> ancilla (Q_A), fixed at construction
+	MagicP   int //xqlint:persistent patch index reserved for the resource state (Q_M), fixed at construction
 	// AncillaLQ/MagicLQ are the logical-qubit ids used for the per-PPR
 	// resource qubits (above the data logical qubits).
-	AncillaLQ int
-	MagicLQ   int
+	AncillaLQ int //xqlint:persistent fixed at construction
+	MagicLQ   int //xqlint:persistent fixed at construction
 }
 
 // NewPPRLayout constructs the layout for nLQ data logical qubits at code

@@ -71,6 +71,7 @@ func cached(name string, gen func() *netlist.Netlist) BlockStats {
 	s := StatsOf(gen())
 	s.Name = name
 	blockCacheMu.Lock()
+	//xqlint:ignore globalmut memoization guarded by blockCacheMu; values are pure functions of the name
 	blockCache[name] = s
 	blockCacheMu.Unlock()
 	return s

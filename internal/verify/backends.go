@@ -24,13 +24,13 @@ func backendFailureDetail(b decoder.Backend, c surface.Code, basis pauli.Pauli, 
 	b.Decode(c, basis, bm, &res)
 
 	resyn := decoder.SyndromeOf(c, basis, res.Flips)
-	for p, on := range syn {
-		if on && !resyn[p] {
+	for _, p := range sortedCells(syn) {
+		if !resyn[p] {
 			return fmt.Sprintf("correction does not cancel syndrome at %v (flips %v)", p, res.Flips)
 		}
 	}
-	for p, on := range resyn {
-		if on && !syn[p] {
+	for _, p := range sortedCells(resyn) {
+		if !syn[p] {
 			return fmt.Sprintf("correction excites plaquette %v (flips %v)", p, res.Flips)
 		}
 	}
@@ -58,6 +58,7 @@ func backendFailureDetail(b decoder.Backend, c surface.Code, basis pauli.Pauli, 
 // point, giving a locally-minimal repro.
 func shrinkSyndrome(syn map[surface.Coord]bool, fails func(map[surface.Coord]bool) bool) map[surface.Coord]bool {
 	cur := make(map[surface.Coord]bool)
+	//xqlint:ignore maprange per-key copy into another map; order cannot matter
 	for p, on := range syn {
 		if on {
 			cur[p] = true

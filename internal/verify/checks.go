@@ -3,6 +3,7 @@ package verify
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"xqsim/internal/decoder"
 	"xqsim/internal/pauli"
@@ -341,12 +342,12 @@ func CheckDecoder(seed int64, d, trials int) *Failure {
 		}
 		// The correction's syndrome must equal the input syndrome.
 		resyn := decoder.SyndromeOf(c, basis, got.Flips)
-		for p := range syn {
+		for _, p := range sortedKeys(syn) {
 			if syn[p] != resyn[p] {
 				return fail(fmt.Sprintf("trial %d basis=%v: correction does not cancel syndrome at %v\nsyndrome: %v\nflips: %v", trial, basis, p, sortedCells(syn), got.Flips))
 			}
 		}
-		for p := range resyn {
+		for _, p := range sortedKeys(resyn) {
 			if resyn[p] && !syn[p] {
 				return fail(fmt.Sprintf("trial %d basis=%v: correction excites plaquette %v\nsyndrome: %v\nflips: %v", trial, basis, p, sortedCells(syn), got.Flips))
 			}
@@ -362,16 +363,29 @@ func sortedCells(syn map[surface.Coord]bool) []surface.Coord {
 			cells = append(cells, p)
 		}
 	}
-	for i := 1; i < len(cells); i++ {
-		for j := i; j > 0; j-- {
-			a, b := cells[j-1], cells[j]
-			if a.Row < b.Row || (a.Row == b.Row && a.Col <= b.Col) {
-				break
-			}
-			cells[j-1], cells[j] = b, a
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Row != cells[j].Row {
+			return cells[i].Row < cells[j].Row
 		}
-	}
+		return cells[i].Col < cells[j].Col
+	})
 	return cells
+}
+
+// sortedKeys returns every key of a syndrome map (on or off) in row-major
+// order, so failure messages name a deterministic first mismatch.
+func sortedKeys(syn map[surface.Coord]bool) []surface.Coord {
+	keys := make([]surface.Coord, 0, len(syn))
+	for p := range syn {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Row != keys[j].Row {
+			return keys[i].Row < keys[j].Row
+		}
+		return keys[i].Col < keys[j].Col
+	})
+	return keys
 }
 
 func decodeResultsEqual(a, b decoder.Result) bool {

@@ -246,6 +246,7 @@ func ParseCircuit(src string) (*stab.Circuit, error) {
 }
 
 func opKindOf(name string) (stab.OpKind, bool) {
+	//xqlint:ignore maprange op names are unique, so at most one key matches
 	for k, n := range opNames {
 		if n == name {
 			return k, true

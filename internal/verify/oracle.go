@@ -264,6 +264,7 @@ func (r ChiSquareResult) String() string {
 // approximation); records with probability zero must not appear at all.
 func ChiSquare(dist map[uint64]float64, counts map[uint64]int, shots int) ChiSquareResult {
 	var res ChiSquareResult
+	//xqlint:ignore maprange appends are sorted below before use; collection order cannot matter
 	for rec, n := range counts {
 		if n > 0 && dist[rec] < probEps {
 			res.Impossible = append(res.Impossible, rec)
@@ -273,10 +274,19 @@ func ChiSquare(dist map[uint64]float64, counts map[uint64]int, shots int) ChiSqu
 		sort.Slice(res.Impossible, func(i, j int) bool { return res.Impossible[i] < res.Impossible[j] })
 		return res
 	}
+	// Accumulate the statistic in sorted record order: float addition is
+	// not associative, so map order would make the last rounding bits —
+	// and a borderline accept/reject — a function of the run.
+	recs := make([]uint64, 0, len(dist))
+	for rec := range dist {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i] < recs[j] })
 	var stat, poolExp float64
 	poolObs := 0
 	cats := 0
-	for rec, p := range dist {
+	for _, rec := range recs {
+		p := dist[rec]
 		if p < probEps {
 			continue
 		}

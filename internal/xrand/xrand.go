@@ -63,6 +63,8 @@ func NewSource(seed int64) Source64 {
 }
 
 // NewStream returns a seeded Stream by value (no heap allocation).
+//
+//xqlint:noalloc by-value constructor for per-site sub-streams in batch hot loops
 func NewStream(seed int64) Stream {
 	var s Stream
 	s.Seed(seed)
@@ -86,6 +88,8 @@ func splitmix64(x *uint64) uint64 {
 // Distinct identifier tuples give statistically independent streams;
 // the mapping is fixed — replay seeds depend on it — but carries no
 // cryptographic claim.
+//
+//xqlint:noalloc called per noise site inside the batch sampler's inner loop
 func Mix(seed int64, ids ...uint64) int64 {
 	x := uint64(seed)
 	out := splitmix64(&x)
@@ -97,6 +101,8 @@ func Mix(seed int64, ids ...uint64) int64 {
 }
 
 // Seed resets the generator state as a deterministic function of seed.
+//
+//xqlint:noalloc per-shot stream rewind
 func (s *Stream) Seed(seed int64) {
 	x := uint64(seed)
 	s.s0 = splitmix64(&x)
@@ -108,6 +114,8 @@ func (s *Stream) Seed(seed int64) {
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 advances the generator one step.
+//
+//xqlint:noalloc the innermost draw of every hot loop
 func (s *Stream) Uint64() uint64 {
 	r := rotl(s.s1*5, 7) * 9
 	t := s.s1 << 17
@@ -128,6 +136,8 @@ func (s *Stream) Int63() int64 {
 // FillUint64 fills dst with consecutive draws: dst[i] receives exactly
 // the value the (i+1)-th sequential Uint64 call would have returned, so
 // bulk and scalar consumers of one stream interleave freely.
+//
+//xqlint:noalloc bulk word fill for the bit-sliced samplers
 func (s *Stream) FillUint64(dst []uint64) {
 	for i := range dst {
 		dst[i] = s.Uint64()
@@ -184,6 +194,8 @@ func BernoulliDraws(m uint32) int {
 // the comparison and are skipped, so the word costs BernoulliDraws(m)
 // draws — e.g. a single draw for p=1/2 and none at all for p in {0,1},
 // which keeps p=1 noise channels fully deterministic.
+//
+//xqlint:noalloc 64-lane noise mask generation in the batch inner loop
 func (s *Stream) BernoulliWord(m uint32) uint64 {
 	if m == 0 {
 		return 0
@@ -208,6 +220,8 @@ func (s *Stream) BernoulliWord(m uint32) uint64 {
 // approximation of p) sample. Words are generated in slice order from
 // the sequential Uint64 stream, so the draw count is
 // len(dst)*BernoulliDraws(QuantizeProb(p)).
+//
+//xqlint:noalloc bulk mask fill over a caller-owned buffer
 func (s *Stream) Bernoulli(p float64, dst []uint64) {
 	m := QuantizeProb(p)
 	for i := range dst {
