@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"xqsim"
+	"xqsim/internal/cli"
 )
 
 type multiFlag []string
@@ -42,6 +43,11 @@ func main() {
 		_, _ = fmt.Fprintln(os.Stderr, "xqasm:", err)
 		os.Exit(1)
 	}
+
+	// SIGINT/SIGTERM cancel between the compile and output stages so an
+	// interrupted run never leaves a half-written -out file behind.
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	var prog xqsim.Program
 	switch {
@@ -99,6 +105,11 @@ func main() {
 			fail(err)
 		}
 		prog = p
+	}
+
+	if ctx.Err() != nil {
+		_, _ = fmt.Fprintln(os.Stderr, "xqasm: interrupted")
+		os.Exit(130)
 	}
 
 	if *out != "" {

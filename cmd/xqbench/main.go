@@ -34,6 +34,7 @@ import (
 	"testing"
 
 	"xqsim"
+	"xqsim/internal/cli"
 	"xqsim/internal/core"
 	"xqsim/internal/decoder"
 	"xqsim/internal/pauli"
@@ -67,12 +68,12 @@ func ladderCircuit() *stab.Circuit {
 
 // benchmarks is the tier-1 set. Each function is a standard benchmark
 // body; one iteration is one unit of the named work (one shot, one
-// decode, one sweep cell).
-func benchmarks() []struct {
+// decode, one sweep cell). The context cancels the shot- and sweep-
+// driven bodies so a SIGINT doesn't have to wait out a full benchmark.
+func benchmarks(ctx context.Context) []struct {
 	Name string
 	Fn   func(b *testing.B)
 } {
-	ctx := context.Background()
 	return []struct {
 		Name string
 		Fn   func(b *testing.B)
@@ -321,13 +322,26 @@ func main() {
 		}
 	}
 
+	// SIGINT/SIGTERM stop the run between benchmarks (and cancel the
+	// ctx-driven bodies mid-benchmark); nothing partial is written.
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
 	results := map[string]Metrics{}
-	for _, bm := range benchmarks() {
+	for _, bm := range benchmarks(ctx) {
+		if ctx.Err() != nil {
+			_, _ = fmt.Fprintln(os.Stderr, "xqbench: interrupted")
+			os.Exit(130)
+		}
 		if *only != "" && bm.Name != *only {
 			continue
 		}
 		m, ok := measure(bm.Fn)
 		if !ok {
+			if ctx.Err() != nil {
+				_, _ = fmt.Fprintln(os.Stderr, "xqbench: interrupted")
+				os.Exit(130)
+			}
 			_, _ = fmt.Fprintf(os.Stderr, "xqbench: %s failed to run\n", bm.Name)
 			os.Exit(2)
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -25,7 +26,7 @@ func TestBenchmarkSetRuns(t *testing.T) {
 		}
 	}()
 	seen := map[string]bool{}
-	for _, bm := range benchmarks() {
+	for _, bm := range benchmarks(context.Background()) {
 		if seen[bm.Name] {
 			t.Fatalf("duplicate benchmark name %q", bm.Name)
 		}

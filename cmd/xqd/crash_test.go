@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"xqsim/internal/server"
+)
+
+// sweepSpec mixes cheap experiments with the slow "threshold" study
+// (~300ms) so a SIGKILL lands mid-sweep with high probability.
+const sweepSpec = `{"kind":"sweep","experiments":["fig14","fig5","threshold"],"seed":7,"shots":64}`
+
+// daemon is one spawned xqd process under test.
+type daemon struct {
+	cmd *exec.Cmd
+	url string
+}
+
+func buildXQD(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "xqd")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func startDaemon(t *testing.T, bin, dataDir string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-data", dataDir, "-workers", "1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start xqd: %v", err)
+	}
+	// The first stdout line announces the bound address:
+	//   xqd listening on 127.0.0.1:PORT (data ..., 1 workers)
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		_ = cmd.Process.Kill()
+		t.Fatalf("xqd produced no listen line: %v", sc.Err())
+	}
+	line := sc.Text()
+	addr := strings.TrimPrefix(line, "xqd listening on ")
+	if i := strings.Index(addr, " "); i >= 0 {
+		addr = addr[:i]
+	}
+	if addr == line || addr == "" {
+		_ = cmd.Process.Kill()
+		t.Fatalf("unexpected listen line %q", line)
+	}
+	// Drain remaining stdout so the child never blocks on a full pipe.
+	go func() { _, _ = io.Copy(io.Discard, stdout) }()
+	return &daemon{cmd: cmd, url: "http://" + addr}
+}
+
+func (d *daemon) submit(t *testing.T, spec string) (id, status string, code int) {
+	t.Helper()
+	resp, err := http.Post(d.url+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var sr struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("submit decode: %v", err)
+	}
+	return sr.ID, sr.Status, resp.StatusCode
+}
+
+func (d *daemon) jobInfo(t *testing.T, id string) (server.JobInfo, bool) {
+	t.Helper()
+	resp, err := http.Get(d.url + "/jobs/" + id)
+	if err != nil {
+		t.Fatalf("job status: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return server.JobInfo{}, false
+	}
+	var info server.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("job status decode: %v", err)
+	}
+	return info, true
+}
+
+func (d *daemon) waitDone(t *testing.T, id string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if info, ok := d.jobInfo(t, id); ok {
+			if info.Status == server.StatusDone {
+				return
+			}
+			if info.Status == server.StatusFailed {
+				t.Fatalf("job failed: %s", info.Error)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+}
+
+func (d *daemon) result(t *testing.T, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(d.url + "/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result = %d: %s", resp.StatusCode, body)
+	}
+	return body
+}
+
+func (d *daemon) stop(t *testing.T) {
+	t.Helper()
+	_ = d.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		_ = d.cmd.Process.Kill()
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+}
+
+// TestCrashRecoveryEndToEnd is the full durability story against the
+// real binary: a sweep killed with SIGKILL mid-run resumes from its
+// checkpoint on restart and produces result bytes identical to an
+// uninterrupted run, and resubmitting the finished spec is served from
+// the durable cache.
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e crash test skipped in -short mode")
+	}
+	bin := buildXQD(t)
+
+	// Reference: an uninterrupted run of the same sweep.
+	refDir := filepath.Join(t.TempDir(), "ref")
+	ref := startDaemon(t, bin, refDir)
+	refID, st, code := ref.submit(t, sweepSpec)
+	if code != http.StatusAccepted || st != "accepted" {
+		t.Fatalf("reference submit = %d %q", code, st)
+	}
+	ref.waitDone(t, refID)
+	want := ref.result(t, refID)
+	ref.stop(t)
+	if len(want) == 0 {
+		t.Fatal("reference result is empty")
+	}
+
+	// Crash run: same spec, SIGKILL once the sweep is visibly mid-run.
+	crashDir := filepath.Join(t.TempDir(), "crash")
+	d := startDaemon(t, bin, crashDir)
+	id, _, code := d.submit(t, sweepSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("crash submit = %d", code)
+	}
+	if id != refID {
+		t.Fatalf("job id differs across daemons: %s vs %s", id, refID)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		info, ok := d.jobInfo(t, id)
+		if ok && (info.Progress >= 1 || info.Status == server.StatusDone) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := d.cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no checkpointing courtesy
+		t.Fatalf("kill -9: %v", err)
+	}
+	_ = d.cmd.Wait()
+
+	// Restart on the same data dir: the store replays, the unfinished
+	// job is re-queued, and the sweep resumes from its checkpoint.
+	d2 := startDaemon(t, bin, crashDir)
+	defer d2.stop(t)
+	if _, ok := d2.jobInfo(t, id); !ok {
+		t.Fatal("restarted daemon forgot the in-flight job")
+	}
+	d2.waitDone(t, id)
+	got := d2.result(t, id)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed result differs from uninterrupted run:\n got %s\nwant %s", got, want)
+	}
+
+	// The finished spec is now a durable cache hit.
+	_, st, code = d2.submit(t, sweepSpec)
+	if code != http.StatusOK || st != "cached" {
+		t.Fatalf("resubmit after crash recovery = %d %q, want 200 cached", code, st)
+	}
+}
+
+// TestGracefulDrainEndToEnd pins the SIGTERM path on the real binary:
+// the daemon stops admitting, checkpoints, and exits zero.
+func TestGracefulDrainEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e drain test skipped in -short mode")
+	}
+	bin := buildXQD(t)
+	d := startDaemon(t, bin, filepath.Join(t.TempDir(), "data"))
+
+	id, _, code := d.submit(t, `{"kind":"estimate","tech":"rsfq","nphys":500,"d":5}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	d.waitDone(t, id)
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	state := make(chan *os.ProcessState, 1)
+	go func() { _ = d.cmd.Wait(); state <- d.cmd.ProcessState }()
+	select {
+	case st := <-state:
+		if st.ExitCode() != 0 {
+			t.Fatalf("drain exit code = %d, want 0", st.ExitCode())
+		}
+	case <-time.After(30 * time.Second):
+		_ = d.cmd.Process.Kill()
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"xqsim"
+	"xqsim/internal/cli"
 )
 
 func main() {
@@ -59,8 +60,17 @@ func main() {
 		os.Exit(1)
 	}
 
+	// SIGINT/SIGTERM cancel before the synthesis-backed estimation pass
+	// and between per-unit reports, matching the other binaries.
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
 	scale := xqsim.ScaleFor(*n, *d)
 	opts := buildOptions(*d, *opt2, *opt3, *opt4, *vscale)
+	if ctx.Err() != nil {
+		_, _ = fmt.Fprintln(os.Stderr, "xqestimate: interrupted")
+		os.Exit(130)
+	}
 	ests := xqsim.EstimateAll(scale, kind, opts)
 
 	fmt.Printf("XQ-estimator: %s at %d physical qubits (%d patches, d=%d)\n",

@@ -11,14 +11,12 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"xqsim"
+	"xqsim/internal/cli"
 	"xqsim/internal/config"
 	"xqsim/internal/prof"
 )
@@ -52,7 +50,7 @@ func main() {
 
 	// SIGINT/SIGTERM cancel the run between pipeline instructions, so
 	// partial results and profiles still flush instead of dying mid-write.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext()
 	defer stop()
 
 	circ, err := buildWorkload(*workload, *lq, *pprs, *product, *seed)

@@ -1,6 +1,6 @@
 // Command xqsweep regenerates the paper's evaluation tables and figures,
 // printing measured-vs-paper anchors and optionally dumping the sweep
-// series as CSV.
+// series as CSV or JSONL.
 //
 // Usage:
 //
@@ -11,19 +11,18 @@
 //	xqsweep -table 3 -shots 2048
 //	xqsweep -degradation
 //	xqsweep -fig 19 -csv fig19.csv
+//	xqsweep -all -jsonl results.jsonl            # one pinned-schema JSON value per line
 //	xqsweep -fig 5 -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
 	"xqsim"
+	"xqsim/internal/cli"
 	"xqsim/internal/prof"
 )
 
@@ -41,17 +40,18 @@ func main() {
 		shots       = flag.Int("shots", 512, "shots for the Table-3 functional validation")
 		seed        = flag.Int64("seed", 1, "random seed")
 		csv         = flag.String("csv", "", "write the sweep series to this CSV file")
+		jsonl       = flag.String("jsonl", "", "write one pinned-schema JSON result per line to this file")
 		md          = flag.String("md", "", "write a Markdown reproduction report to this file")
 		checkpoint  = flag.String("checkpoint", "", "snapshot completed experiments to this JSON file after each cell")
 		resume      = flag.Bool("resume", false, "with -checkpoint: skip experiments the snapshot already holds")
 	)
 	flag.Parse()
 	defer prof.Start()()
-	tournamentOnly = *decoderName
+	opts := xqsim.ExperimentOptions{Shots: *shots, Seed: *seed, TournamentDecoder: *decoderName}
 
 	// SIGINT/SIGTERM cancel the sweep between grid cells; the checkpoint
 	// keeps every completed cell, so -resume continues where it stopped.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext()
 	defer stop()
 
 	var ck *xqsim.SweepCheckpoint
@@ -76,15 +76,15 @@ func main() {
 
 	var results []xqsim.ExperimentResult
 	run := func(id string) {
-		if cid := canonicalID(id); ck.Has(cid) {
+		if cid := xqsim.CanonicalExperimentID(id); ck.Has(cid) {
 			results = append(results, ck.Results[cid])
 			_, _ = fmt.Fprintf(os.Stderr, "skipping %s (checkpointed)\n", cid)
 			return
 		}
-		r, err := runExperiment(ctx, id, *shots, *seed)
+		r, err := xqsim.RunExperiment(ctx, id, opts)
 		if err != nil {
 			_, _ = fmt.Fprintln(os.Stderr, "xqsweep:", err)
-			flushPartial(results, *md, *csv)
+			flushPartial(results, *md, *csv, *jsonl)
 			os.Exit(1)
 		}
 		results = append(results, r)
@@ -141,66 +141,19 @@ func main() {
 		}
 		_, _ = fmt.Fprintf(os.Stderr, "wrote series to %s\n", *csv)
 	}
-}
 
-// canonicalID maps a command-line experiment id to the Result.ID the
-// driver reports (and the checkpoint is keyed by).
-func canonicalID(id string) string {
-	switch id {
-	case "t3":
-		return "table3"
-	case "t4":
-		return "table4"
-	case "5", "10", "12", "14", "16", "17", "18", "19":
-		return "fig" + id
+	if *jsonl != "" && len(results) > 0 {
+		if err := writeJSONL(*jsonl, results); err != nil {
+			_, _ = fmt.Fprintln(os.Stderr, "xqsweep:", err)
+			os.Exit(1)
+		}
+		_, _ = fmt.Fprintf(os.Stderr, "wrote %d JSONL results to %s\n", len(results), *jsonl)
 	}
-	return id
-}
-
-// tournamentOnly carries the -decoder restriction into the tournament
-// driver (empty = race every registered backend).
-var tournamentOnly string
-
-// runExperiment dispatches one experiment id to its driver.
-func runExperiment(ctx context.Context, id string, shots int, seed int64) (xqsim.ExperimentResult, error) {
-	switch id {
-	case "5":
-		return xqsim.Fig5(ctx, seed)
-	case "10":
-		return xqsim.Fig10(), nil
-	case "12":
-		return xqsim.Fig12(), nil
-	case "14":
-		return xqsim.Fig14(ctx, seed)
-	case "16":
-		return xqsim.Fig16(ctx, seed)
-	case "17":
-		return xqsim.Fig17(ctx, seed)
-	case "18":
-		return xqsim.Fig18(), nil
-	case "19":
-		return xqsim.Fig19(ctx, seed)
-	case "t3":
-		return xqsim.Table3Result(ctx, shots, seed)
-	case "t4":
-		return xqsim.Table4(), nil
-	case "sensitivity":
-		return xqsim.Sensitivity(ctx, seed)
-	case "threshold":
-		return xqsim.ThresholdStudy(ctx, 400, seed)
-	case "circuit-threshold":
-		return xqsim.CircuitThresholdStudy(ctx, 4000, seed)
-	case "degradation":
-		return xqsim.DegradationStudy(ctx, 400, seed)
-	case "tournament":
-		return xqsim.DecoderTournament(ctx, shots, seed, tournamentOnly)
-	}
-	return xqsim.ExperimentResult{}, fmt.Errorf("unknown experiment %q", id)
 }
 
 // flushPartial writes whatever completed before a failure or interrupt,
 // so a canceled sweep still leaves its partial report behind.
-func flushPartial(results []xqsim.ExperimentResult, md, csv string) {
+func flushPartial(results []xqsim.ExperimentResult, md, csv, jsonl string) {
 	if len(results) == 0 {
 		return
 	}
@@ -217,6 +170,19 @@ func flushPartial(results []xqsim.ExperimentResult, md, csv string) {
 			_, _ = fmt.Fprintln(os.Stderr, "xqsweep:", err)
 		}
 	}
+	if jsonl != "" {
+		if err := writeJSONL(jsonl, results); err != nil {
+			_, _ = fmt.Fprintln(os.Stderr, "xqsweep:", err)
+		}
+	}
+}
+
+func writeJSONL(path string, results []xqsim.ExperimentResult) error {
+	var sb strings.Builder
+	if err := xqsim.WriteExperimentsJSONL(&sb, results); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
 }
 
 func writeCSV(path string, results []xqsim.ExperimentResult) error {

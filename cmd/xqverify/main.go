@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"xqsim/internal/cli"
 	"xqsim/internal/config"
 	"xqsim/internal/verify"
 )
@@ -83,9 +84,18 @@ func main() {
 		}
 	}
 
+	// SIGINT/SIGTERM stop the suite between trials; the partial report
+	// still prints, so an interrupted run shows what it got through.
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
 	start := time.Now()
-	rep := verify.Run(depth, *seed, only)
+	rep := verify.RunCtx(ctx, depth, *seed, only)
 	fmt.Printf("xqverify depth=%s seed=%d (%.2fs)\n%s", depth.Name, *seed, time.Since(start).Seconds(), rep.Summary())
+	if ctx.Err() != nil {
+		_, _ = fmt.Fprintln(os.Stderr, "xqverify: interrupted; report above is partial")
+		os.Exit(130)
+	}
 	if !rep.OK() {
 		for _, f := range rep.Failures {
 			_, _ = fmt.Fprintf(os.Stderr, "\n%v\n", f)

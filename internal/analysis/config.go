@@ -14,8 +14,11 @@ type Config struct {
 	// invariant: a seed must fully determine a run.
 	SimPackages []string
 	// DeterminismExempt lists packages excused from the determinism
-	// analyzer. internal/xrand is the sanctioned randomness wrapper and
-	// is the only default entry.
+	// analyzer. internal/xrand is the sanctioned randomness wrapper;
+	// internal/server and internal/store are the xqd daemon's service
+	// layer, which legitimately reads wall clocks (watchdogs, retry
+	// backoff, Retry-After). The simulation they schedule stays under
+	// the invariant — jobs are pure functions of (config, seed, shots).
 	DeterminismExempt []string
 	// DeterminismBannedImports are import paths simulation packages may
 	// not depend on directly.
@@ -49,7 +52,7 @@ func DefaultConfig(modulePath string) *Config {
 	return &Config{
 		ModulePath:        modulePath,
 		SimPackages:       []string{"internal"},
-		DeterminismExempt: []string{"internal/xrand"},
+		DeterminismExempt: []string{"internal/xrand", "internal/server", "internal/store"},
 		DeterminismBannedImports: []string{
 			"math/rand",
 			"math/rand/v2",

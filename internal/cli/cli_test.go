@@ -1,0 +1,30 @@
+package cli
+
+import (
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestSignalContextCancelsOnSIGINT(t *testing.T) {
+	ctx, stop := SignalContext()
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled after SIGINT")
+	}
+}
+
+func TestSignalContextStopReleases(t *testing.T) {
+	ctx, stop := SignalContext()
+	stop()
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("stop should cancel the context")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -30,7 +31,39 @@ var (
 	// rateMisses counts actual pipeline executions (cache fills), for
 	// tests and for judging sweep-level reuse.
 	rateMisses atomic.Int64
+	// ratePersist, when set, backs the in-process memoization with a
+	// durable second level (the xqd daemon's result store), making rate
+	// measurements a cross-process cache.
+	ratePersist atomic.Pointer[RateStore]
 )
+
+// RateStore is a durable second-level cache for MeasureRates. Load
+// returns the stored rates for a key (false when absent or unreadable);
+// Store persists a fresh measurement. Implementations must be safe for
+// concurrent use. Errors are the implementation's to handle: a failed
+// Store must simply not surface on a later Load.
+type RateStore interface {
+	LoadRates(key string) (Rates, bool)
+	StoreRates(key string, r Rates)
+}
+
+// EnableRatePersistence installs (or, with nil, removes) the durable
+// second-level rate cache. Already-memoized in-process entries are
+// unaffected. The store only ever receives keys produced by RateCacheKey.
+func EnableRatePersistence(rs RateStore) {
+	if rs == nil {
+		ratePersist.Store(nil)
+		return
+	}
+	ratePersist.Store(&rs)
+}
+
+// RateCacheKey renders a rate measurement's identifying inputs as the
+// stable string key used with a RateStore. %g on physError is exact:
+// it round-trips any float64.
+func RateCacheKey(d int, physError float64, scheme decoder.Scheme, seed int64) string {
+	return fmt.Sprintf("rates/d=%d,p=%g,scheme=%d,seed=%d", d, physError, int(scheme), seed)
+}
 
 // MeasureRates runs the full pipeline (scaling mode, no tableau) on a
 // random-PPR workload at a reference scale and extracts the rates.
@@ -50,8 +83,17 @@ func MeasureRates(d int, physError float64, scheme decoder.Scheme, seed int64) R
 	}
 	entry := e.(*rateEntry)
 	entry.once.Do(func() {
+		if p := ratePersist.Load(); p != nil {
+			if r, ok := (*p).LoadRates(RateCacheKey(d, physError, scheme, seed)); ok {
+				entry.rates = r
+				return
+			}
+		}
 		rateMisses.Add(1)
 		entry.rates = measureRatesN(d, physError, scheme, seed, 4, 6)
+		if p := ratePersist.Load(); p != nil {
+			(*p).StoreRates(RateCacheKey(d, physError, scheme, seed), entry.rates)
+		}
 	})
 	return entry.rates
 }

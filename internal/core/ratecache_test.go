@@ -74,7 +74,76 @@ func TestMeasureRatesConcurrent(t *testing.T) {
 	}
 }
 
-// TestLogicalErrorRateSchedulingInvariant asserts the parallel trial pool
+// fakeRateStore records LoadRates/StoreRates traffic for the durable
+// second-level cache tests.
+type fakeRateStore struct {
+	mu     sync.Mutex
+	m      map[string]Rates
+	loads  int
+	stores int
+}
+
+func (f *fakeRateStore) LoadRates(key string) (Rates, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.loads++
+	r, ok := f.m[key]
+	return r, ok
+}
+
+func (f *fakeRateStore) StoreRates(key string, r Rates) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stores++
+	if f.m == nil {
+		f.m = map[string]Rates{}
+	}
+	f.m[key] = r
+}
+
+func TestMeasureRatesPersistenceMissThenStore(t *testing.T) {
+	const seed = 900005
+	fs := &fakeRateStore{}
+	EnableRatePersistence(fs)
+	defer EnableRatePersistence(nil)
+
+	before := rateMisses.Load()
+	r := MeasureRates(3, 0.001, decoder.SchemePriority, seed)
+	if got := rateMisses.Load() - before; got != 1 {
+		t.Fatalf("cold key with empty store ran the pipeline %d times, want 1", got)
+	}
+	key := RateCacheKey(3, 0.001, decoder.SchemePriority, seed)
+	fs.mu.Lock()
+	stored, ok := fs.m[key]
+	fs.mu.Unlock()
+	if !ok || stored != r {
+		t.Fatalf("fresh measurement not persisted under %q (ok=%v)", key, ok)
+	}
+}
+
+func TestMeasureRatesPersistenceServesWithoutPipeline(t *testing.T) {
+	const seed = 900006
+	// Pre-populate the durable level with a sentinel: a hit must be
+	// served verbatim with no pipeline execution (no miss counted).
+	key := RateCacheKey(3, 0.001, decoder.SchemePriority, seed)
+	sentinel := Rates{BitsPerQubitPerRound: 123.5}
+	fs := &fakeRateStore{m: map[string]Rates{key: sentinel}}
+	EnableRatePersistence(fs)
+	defer EnableRatePersistence(nil)
+
+	before := rateMisses.Load()
+	got := MeasureRates(3, 0.001, decoder.SchemePriority, seed)
+	if n := rateMisses.Load() - before; n != 0 {
+		t.Fatalf("durable hit still ran the pipeline %d times", n)
+	}
+	if got != sentinel {
+		t.Fatalf("durable hit returned %+v, want the stored sentinel", got)
+	}
+	if fs.stores != 0 {
+		t.Fatalf("durable hit wrote back to the store %d times", fs.stores)
+	}
+}
+
 // returns exactly the serial loop's answer: per-trial seeds make each
 // trial independent of scheduling, and the rate is a pure count.
 func TestLogicalErrorRateSchedulingInvariant(t *testing.T) {

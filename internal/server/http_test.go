@@ -1,0 +1,199 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (*http.Response, submitResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr submitResponse
+	_ = json.NewDecoder(resp.Body).Decode(&sr)
+	_ = resp.Body.Close()
+	return resp, sr
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPSubmitStatusResult(t *testing.T) {
+	sched := newT(t, Config{Workers: 1})
+	defer drainT(t, sched)
+	ts := httptest.NewServer(NewServer(sched))
+	defer ts.Close()
+
+	resp, sr := postJob(t, ts, `{"kind":"estimate","tech":"rsfq","nphys":500,"d":5}`)
+	if resp.StatusCode != http.StatusAccepted || sr.Status != "accepted" || sr.ID == "" {
+		t.Fatalf("submit = %d %+v", resp.StatusCode, sr)
+	}
+
+	// Poll status to done.
+	var info JobInfo
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if code := getJSON(t, ts, "/jobs/"+sr.ID, &info); code != http.StatusOK {
+			t.Fatalf("status code %d", code)
+		}
+		if info.Status == StatusDone {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if info.Status != StatusDone || info.Kind != "estimate" {
+		t.Fatalf("job info %+v", info)
+	}
+
+	// Result bytes are byte-stable across reads.
+	r1, err := http.Get(ts.URL + "/jobs/" + sr.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1 bytes.Buffer
+	_, _ = b1.ReadFrom(r1.Body)
+	_ = r1.Body.Close()
+	r2, err := http.Get(ts.URL + "/jobs/" + sr.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b2 bytes.Buffer
+	_, _ = b2.ReadFrom(r2.Body)
+	_ = r2.Body.Close()
+	if r1.StatusCode != http.StatusOK || !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("result reads differ: %d %q vs %q", r1.StatusCode, b1.String(), b2.String())
+	}
+
+	// Resubmission is served from cache with 200.
+	resp, sr = postJob(t, ts, `{"kind":"estimate","tech":"rsfq","nphys":500,"d":5}`)
+	if resp.StatusCode != http.StatusOK || sr.Status != "cached" {
+		t.Fatalf("resubmit = %d %+v", resp.StatusCode, sr)
+	}
+
+	// Job list contains the job.
+	var jobs []JobInfo
+	if code := getJSON(t, ts, "/jobs", &jobs); code != http.StatusOK || len(jobs) != 1 {
+		t.Fatalf("list = %d %+v", code, jobs)
+	}
+
+	// Health and stats respond.
+	var health map[string]string
+	if code := getJSON(t, ts, "/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("health = %d %+v", code, health)
+	}
+	var st Stats
+	if code := getJSON(t, ts, "/stats", &st); code != http.StatusOK || st.Done != 1 {
+		t.Fatalf("stats = %d %+v", code, st)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	sched := newT(t, Config{Workers: 1})
+	defer drainT(t, sched)
+	ts := httptest.NewServer(NewServer(sched))
+	defer ts.Close()
+
+	cases := []string{
+		`{not json`,
+		`{"kind":"quantum-supremacy"}`,
+		`{"kind":"sweep","experiments":["fig99"]}`,
+		`{"kind":"estimate","tech":"duct-tape"}`,
+		`{"kind":"simulate","bogus_field":1}`,
+	}
+	for _, body := range cases {
+		resp, _ := postJob(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s = %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	if code := getJSON(t, ts, "/jobs/deadbeef", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job status = %d, want 404", code)
+	}
+	if code := getJSON(t, ts, "/jobs/deadbeef/result", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job result = %d, want 404", code)
+	}
+}
+
+func TestHTTPOverloadReturns429WithRetryAfter(t *testing.T) {
+	block := make(chan struct{})
+	runHook = func(ctx context.Context, spec JobSpec, attempt int) (json.RawMessage, error) {
+		<-block
+		return json.RawMessage(`{}`), nil
+	}
+	defer func() { runHook = nil }()
+
+	sched := newT(t, Config{Workers: 1, QueueDepth: 1})
+	ts := httptest.NewServer(NewServer(sched))
+	defer ts.Close()
+
+	resp, _ := postJob(t, ts, `{"kind":"simulate","seed":21}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d", resp.StatusCode)
+	}
+	resp, _ = postJob(t, ts, `{"kind":"simulate","seed":22}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload submit = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 response missing Retry-After")
+	}
+	close(block)
+	drainT(t, sched)
+}
+
+func TestHTTPResultOfUnfinishedJobConflicts(t *testing.T) {
+	block := make(chan struct{})
+	runHook = func(ctx context.Context, spec JobSpec, attempt int) (json.RawMessage, error) {
+		<-block
+		return json.RawMessage(`{}`), nil
+	}
+	defer func() { runHook = nil }()
+
+	sched := newT(t, Config{Workers: 1})
+	ts := httptest.NewServer(NewServer(sched))
+	defer ts.Close()
+
+	_, sr := postJob(t, ts, `{"kind":"simulate","seed":31}`)
+	if code := getJSON(t, ts, "/jobs/"+sr.ID+"/result", nil); code != http.StatusConflict {
+		t.Fatalf("unfinished result = %d, want 409", code)
+	}
+	close(block)
+	drainT(t, sched)
+}
+
+func TestHTTPDrainingReturns503(t *testing.T) {
+	sched := newT(t, Config{Workers: 1})
+	ts := httptest.NewServer(NewServer(sched))
+	defer ts.Close()
+	drainT(t, sched)
+
+	resp, _ := postJob(t, ts, `{"kind":"estimate"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d, want 503", resp.StatusCode)
+	}
+	var health map[string]string
+	if code := getJSON(t, ts, "/healthz", &health); code != http.StatusOK || health["status"] != "draining" {
+		t.Fatalf("health while draining = %d %+v", code, health)
+	}
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Server is the xqd daemon's HTTP+JSON face over a Scheduler.
+//
+//	POST /jobs            submit a JobSpec; 202 accepted, 200 cached,
+//	                      429 + Retry-After when shedding load,
+//	                      503 while draining
+//	GET  /jobs            list known jobs
+//	GET  /jobs/{id}       one job's status (progress for sweeps)
+//	GET  /jobs/{id}/result the finished job's payload, byte-stable
+//	GET  /healthz         liveness
+//	GET  /stats           scheduler counters
+type Server struct {
+	sched *Scheduler
+	mux   *http.ServeMux
+}
+
+// RetryAfterSeconds is the hint returned with 429 responses.
+const RetryAfterSeconds = 2
+
+// NewServer wires the HTTP routes over a running scheduler.
+func NewServer(sched *Scheduler) *Server {
+	s := &Server{sched: sched, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain delegates to the scheduler (see Scheduler.Drain).
+func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+
+// submitResponse is the POST /jobs reply body.
+type submitResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"` // accepted | duplicate | cached
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad job spec: %v", err))
+		return
+	}
+	hash, st, err := s.sched.Submit(spec)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	switch st {
+	case SubmitCached:
+		writeJSON(w, http.StatusOK, submitResponse{ID: hash, Status: "cached"})
+	case SubmitDuplicate:
+		writeJSON(w, http.StatusAccepted, submitResponse{ID: hash, Status: "duplicate"})
+	default:
+		writeJSON(w, http.StatusAccepted, submitResponse{ID: hash, Status: "accepted"})
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	out, ok := s.sched.Result(id)
+	if !ok {
+		if _, known := s.sched.Job(id); known {
+			httpError(w, http.StatusConflict, "job not finished")
+			return
+		}
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	if !out.OK {
+		httpError(w, http.StatusUnprocessableEntity, out.Error)
+		return
+	}
+	// The payload is served verbatim from the durable store — the
+	// bit-for-bit reproducibility contract.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(out.Result)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.sched.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	// Encoding a value we just built cannot fail in a recoverable way;
+	// a broken client connection has no handler either.
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

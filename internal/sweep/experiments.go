@@ -1,0 +1,106 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// ExperimentOptions parameterize RunExperiment. The zero value of Shots
+// is replaced by DefaultExperimentShots so job submissions and CLI runs
+// agree on the canonical operating point.
+type ExperimentOptions struct {
+	// Shots is the shot count for the shot-driven experiments (Table 3,
+	// the circuit-level threshold study, the decoder tournament).
+	Shots int
+	// Seed is the base random seed; every experiment derives its own
+	// deterministic stream from it.
+	Seed int64
+	// TournamentDecoder restricts the decoder tournament to one backend
+	// (empty = race every registered backend).
+	TournamentDecoder string
+}
+
+// DefaultExperimentShots is the shot count used when options leave it 0
+// (xqsweep's historical default).
+const DefaultExperimentShots = 512
+
+// Experiment trial counts fixed by the drivers; they are part of the
+// determinism contract (an experiment is a pure function of (canonical
+// ID, seed, shots)), so they live here rather than in each caller.
+const (
+	thresholdTrials   = 400
+	circuitThrShots   = 4000
+	degradationTrials = 400
+)
+
+// CanonicalExperimentID maps a command-line experiment id ("t3", "14")
+// to the Result.ID the driver reports ("table3", "fig14") — the key the
+// sweep checkpoint and the xqd result cache use. Unknown ids map to
+// themselves; RunExperiment is the authority on validity.
+func CanonicalExperimentID(id string) string {
+	switch id {
+	case "t3":
+		return "table3"
+	case "t4":
+		return "table4"
+	case "5", "10", "12", "14", "16", "17", "18", "19":
+		return "fig" + id
+	}
+	return id
+}
+
+// ExperimentIDs returns the canonical ids RunExperiment accepts, sorted.
+func ExperimentIDs() []string {
+	ids := []string{
+		"fig5", "fig10", "fig12", "fig14", "fig16", "fig17", "fig18", "fig19",
+		"table3", "table4", "sensitivity", "threshold", "circuit-threshold",
+		"degradation", "tournament",
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunExperiment dispatches one experiment id (canonical or CLI
+// shorthand) to its driver. Every experiment is deterministic in
+// (canonical id, opts.Seed, opts.Shots): re-running one reproduces the
+// Result bit for bit, which is what lets the xqd daemon cache results
+// durably and resume interrupted sweeps from checkpoints.
+func RunExperiment(ctx context.Context, id string, opts ExperimentOptions) (Result, error) {
+	if opts.Shots <= 0 {
+		opts.Shots = DefaultExperimentShots
+	}
+	switch CanonicalExperimentID(id) {
+	case "fig5":
+		return Fig5(ctx, opts.Seed)
+	case "fig10":
+		return Fig10(), nil
+	case "fig12":
+		return Fig12(), nil
+	case "fig14":
+		return Fig14(ctx, opts.Seed)
+	case "fig16":
+		return Fig16(ctx, opts.Seed)
+	case "fig17":
+		return Fig17(ctx, opts.Seed)
+	case "fig18":
+		return Fig18(), nil
+	case "fig19":
+		return Fig19(ctx, opts.Seed)
+	case "table3":
+		return Table3Result(ctx, opts.Shots, opts.Seed)
+	case "table4":
+		return Table4(), nil
+	case "sensitivity":
+		return Sensitivity(ctx, opts.Seed)
+	case "threshold":
+		return ThresholdStudy(ctx, thresholdTrials, opts.Seed)
+	case "circuit-threshold":
+		return CircuitThresholdStudy(ctx, circuitThrShots, opts.Seed)
+	case "degradation":
+		return DegradationStudy(ctx, degradationTrials, opts.Seed)
+	case "tournament":
+		return DecoderTournament(ctx, opts.Shots, opts.Seed, opts.TournamentDecoder)
+	}
+	return Result{}, fmt.Errorf("sweep: unknown experiment %q (have %v)", id, ExperimentIDs())
+}

@@ -1,0 +1,61 @@
+package sweep
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestCanonicalExperimentID(t *testing.T) {
+	cases := map[string]string{
+		"t3":          "table3",
+		"t4":          "table4",
+		"5":           "fig5",
+		"19":          "fig19",
+		"fig14":       "fig14",
+		"sensitivity": "sensitivity",
+		"tournament":  "tournament",
+		"bogus":       "bogus",
+	}
+	for in, want := range cases {
+		if got := CanonicalExperimentID(in); got != want {
+			t.Errorf("CanonicalExperimentID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRunExperimentKnownIDs(t *testing.T) {
+	// The cheap closed-form experiments exercise the dispatch without
+	// heavy simulation; the canonical ID must match the Result.ID.
+	ctx := context.Background()
+	for _, id := range []string{"10", "fig12", "18", "t4"} {
+		r, err := RunExperiment(ctx, id, ExperimentOptions{Seed: 1})
+		if err != nil {
+			t.Fatalf("RunExperiment(%q): %v", id, err)
+		}
+		if r.ID != CanonicalExperimentID(id) {
+			t.Errorf("RunExperiment(%q).ID = %q, want %q", id, r.ID, CanonicalExperimentID(id))
+		}
+	}
+}
+
+func TestRunExperimentUnknownID(t *testing.T) {
+	_, err := RunExperiment(context.Background(), "fig99", ExperimentOptions{})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("want unknown-experiment error, got %v", err)
+	}
+}
+
+func TestExperimentIDsCoverDispatch(t *testing.T) {
+	// Every advertised ID must dispatch without the unknown-ID error.
+	// (We don't run them — some take minutes — just probe with an
+	// already-cancelled context and accept any non-"unknown" outcome.)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, id := range ExperimentIDs() {
+		_, err := RunExperiment(ctx, id, ExperimentOptions{Shots: 1, Seed: 1})
+		if err != nil && strings.Contains(err.Error(), "unknown experiment") {
+			t.Errorf("advertised id %q does not dispatch", id)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -232,6 +233,15 @@ func checkSeedStream(baseSeed int64, name string) *xrand.Rand {
 // that check (later trials of a broken layer add noise, not signal) but
 // the remaining checks still run.
 func Run(d Depth, baseSeed int64, only map[string]bool) Report {
+	return RunCtx(context.Background(), d, baseSeed, only)
+}
+
+// RunCtx is Run with cancellation: the context is checked between
+// trials, so an interrupted suite returns the partial report (every
+// trial completed so far) instead of dying mid-check. Completed trials
+// are unaffected by where the cancellation lands — each trial's seed is
+// a pure function of (baseSeed, check, index).
+func RunCtx(ctx context.Context, d Depth, baseSeed int64, only map[string]bool) Report {
 	rep := Report{Depth: d.Name, TrialsRun: make(map[string]int)}
 	for _, spec := range AllChecks() {
 		if len(only) > 0 && !only[spec.Name] {
@@ -240,6 +250,9 @@ func Run(d Depth, baseSeed int64, only map[string]bool) Report {
 		seeds := checkSeedStream(baseSeed, spec.Name)
 		trials := spec.Trials(d)
 		for k := 0; k < trials; k++ {
+			if ctx.Err() != nil {
+				return rep
+			}
 			seed := seeds.Int63()
 			if spec.Name == "decoder" || spec.Name == "backends" {
 				seed = seed&^0xf | int64(k%len(d.DecoderDistances))

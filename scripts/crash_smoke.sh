@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke for the xqd daemon, using nothing but the shipped
+# binary and curl:
+#
+#   1. run a sweep to completion on a reference daemon and keep its bytes
+#   2. submit the same sweep to a second daemon and `kill -9` it mid-run
+#   3. restart the killed daemon on the same data dir and assert the job
+#      resumes from its checkpoint and finishes
+#   4. assert the recovered result is bit-for-bit identical to the
+#      uninterrupted reference
+#   5. assert resubmitting the finished spec is served from the durable
+#      cache ("cached", HTTP 200)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SPEC='{"kind":"sweep","experiments":["fig14","fig5","threshold"],"seed":7,"shots":64}'
+WORK=$(mktemp -d)
+XQD="$WORK/xqd"
+PID=""
+cleanup() {
+  [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$XQD" ./cmd/xqd
+
+# start_daemon <datadir> <logfile>: launches xqd on an ephemeral port
+# and sets the globals PID and URL (parsed from the listen line).
+# Runs in the current shell, not a subshell, so PID survives.
+start_daemon() {
+  "$XQD" -addr 127.0.0.1:0 -data "$1" -workers 1 >"$2" 2>&1 &
+  PID=$!
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^xqd listening on \([^ ]*\).*/\1/p' "$2")
+    [ -n "$addr" ] && { URL="http://$addr"; return; }
+    sleep 0.1
+  done
+  echo "daemon never announced its address:" >&2
+  cat "$2" >&2
+  exit 1
+}
+
+submit() { curl -sf -X POST "$1/jobs" -d "$SPEC"; }
+job_field() { curl -s "$1/jobs/$2" | sed -n "s/.*\"$3\":\"\{0,1\}\([a-z0-9]*\)\"\{0,1\}.*/\1/p"; }
+
+wait_done() { # <url> <id>
+  for _ in $(seq 1 600); do
+    case "$(job_field "$1" "$2" status)" in
+      done) return ;;
+      failed) echo "job failed: $(curl -s "$1/jobs/$2")" >&2; exit 1 ;;
+    esac
+    sleep 0.1
+  done
+  echo "job $2 did not finish" >&2
+  exit 1
+}
+
+echo "== reference run (uninterrupted)"
+start_daemon "$WORK/ref" "$WORK/ref.log"
+ID=$(submit "$URL" | sed -n 's/.*"id":"\([a-f0-9]*\)".*/\1/p')
+[ -n "$ID" ] || { echo "submit returned no job id" >&2; exit 1; }
+wait_done "$URL" "$ID"
+curl -sf "$URL/jobs/$ID/result" >"$WORK/ref.json"
+kill -TERM "$PID" && wait "$PID"
+PID=""
+
+echo "== crash run: kill -9 mid-sweep"
+start_daemon "$WORK/crash" "$WORK/crash1.log"
+ID2=$(submit "$URL" | sed -n 's/.*"id":"\([a-f0-9]*\)".*/\1/p')
+[ "$ID2" = "$ID" ] || { echo "job id differs across daemons: $ID2 vs $ID" >&2; exit 1; }
+for _ in $(seq 1 300); do
+  p=$(job_field "$URL" "$ID" progress)
+  [ "${p:-0}" -ge 1 ] 2>/dev/null && break
+  sleep 0.01
+done
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+echo "== restart on the same data dir: job must resume and finish"
+start_daemon "$WORK/crash" "$WORK/crash2.log"
+curl -sf "$URL/jobs/$ID" >/dev/null || { echo "restarted daemon forgot the job" >&2; exit 1; }
+wait_done "$URL" "$ID"
+curl -sf "$URL/jobs/$ID/result" >"$WORK/got.json"
+
+cmp "$WORK/ref.json" "$WORK/got.json" || {
+  echo "recovered result differs from uninterrupted reference" >&2
+  exit 1
+}
+echo "recovered result is bit-for-bit identical ($(wc -c <"$WORK/got.json") bytes)"
+
+status=$(submit "$URL" | sed -n 's/.*"status":"\([a-z]*\)".*/\1/p')
+[ "$status" = "cached" ] || { echo "resubmit status=$status, want cached" >&2; exit 1; }
+echo "resubmission served from durable cache"
+
+kill -TERM "$PID" && wait "$PID"
+PID=""
+echo "crash smoke OK"
