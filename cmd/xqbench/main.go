@@ -24,10 +24,12 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -234,6 +236,70 @@ func benchmarks(ctx context.Context) []struct {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := cell.Rate(ctx, 256); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"sweep-cell", func(b *testing.B) {
+			// One distributed-sweep grid cell end to end (compile +
+			// sample), the unit of work the shard/worker machinery
+			// schedules — the latency floor for thousand-cell grids.
+			g, err := xqsim.GridSpec{
+				Kind: "circuit", Ds: []int{3}, Ps: []float64{0.01}, Trials: 64, Seed: 1,
+			}.Normalize()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cell := g.Cell(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := xqsim.RunGridCell(ctx, g, cell, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"shard-merge", func(b *testing.B) {
+			// The fixed overhead `xqsweep -merge` adds on top of cell
+			// compute: parse 3 shard JSONL streams of a 60-cell grid,
+			// verify, merge, re-encode. Cells are synthesized (their
+			// rates never matter to merge cost).
+			ps := make([]float64, 15)
+			for i := range ps {
+				ps[i] = 0.001 * float64(i+1)
+			}
+			g, err := xqsim.GridSpec{
+				Kind: "threshold", Ds: []int{3, 5, 7, 9}, Ps: ps, Trials: 64, Seed: 1,
+			}.Normalize()
+			if err != nil {
+				b.Fatal(err)
+			}
+			shards := make([][]byte, 3)
+			for s := range shards {
+				cells, err := g.ShardCells(s, len(shards))
+				if err != nil {
+					b.Fatal(err)
+				}
+				results := make([]xqsim.GridCellResult, 0, len(cells))
+				for _, c := range cells {
+					results = append(results, xqsim.GridCellResult{
+						Index: c.Index, D: c.D, P: c.P, Rounds: c.Rounds,
+						Trials: c.Trials, Seed: c.Seed,
+						Rate: float64(c.Index%5) / 64,
+					})
+				}
+				var buf bytes.Buffer
+				if err := xqsim.WriteGridJSONL(&buf, g, results); err != nil {
+					b.Fatal(err)
+				}
+				shards[s] = buf.Bytes()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				readers := make([]io.Reader, len(shards))
+				for s := range shards {
+					readers[s] = bytes.NewReader(shards[s])
+				}
+				if err := xqsim.MergeGridFiles(io.Discard, readers); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -508,6 +574,38 @@ func compareSummaries(oldPath, newPath string) error {
 			fmt.Printf("%-28s %14.1f %14.1f %8s   %12.0f %12.0f %8s\n",
 				name, o.NsPerOp, n.NsPerOp, delta(o.NsPerOp, n.NsPerOp),
 				o.AllocsPerOp, n.AllocsPerOp, delta(o.AllocsPerOp, n.AllocsPerOp))
+		}
+	}
+
+	// Cold-vs-steady split: for every X / X-cold pair, cold − steady is
+	// the per-op warm-up (construction/compile) cost. The steady path is
+	// allocation-free and nearly flat, so a compile-cost regression
+	// barely moves the raw X-cold row; subtracting the steady cost makes
+	// it visible on its own line.
+	header := false
+	for _, name := range names {
+		cold := name + "-cold"
+		oCold, haveOldCold := oldM[cold]
+		nCold, haveNewCold := newM[cold]
+		if !haveOldCold && !haveNewCold {
+			continue
+		}
+		if !header {
+			fmt.Printf("\n%-28s %14s %14s %8s\n",
+				"warm-up split (cold-steady)", "old ns/op", "new ns/op", "delta")
+			header = true
+		}
+		oSteady, haveOldSteady := oldM[name]
+		nSteady, haveNewSteady := newM[name]
+		switch {
+		case haveOldCold && haveOldSteady && haveNewCold && haveNewSteady:
+			oSplit := oCold.NsPerOp - oSteady.NsPerOp
+			nSplit := nCold.NsPerOp - nSteady.NsPerOp
+			fmt.Printf("%-28s %14.1f %14.1f %8s\n", name, oSplit, nSplit, delta(oSplit, nSplit))
+		case haveNewCold && haveNewSteady:
+			fmt.Printf("%-28s %14s %14.1f %8s\n", name, "-", nCold.NsPerOp-nSteady.NsPerOp, "new")
+		case haveOldCold && haveOldSteady:
+			fmt.Printf("%-28s %14.1f %14s %8s\n", name, oCold.NsPerOp-oSteady.NsPerOp, "-", "gone")
 		}
 	}
 	return nil

@@ -2,7 +2,10 @@
 // simulate / sweep / estimate jobs over HTTP+JSON, runs them on a
 // bounded worker pool, and stores every outcome durably so duplicate
 // submissions are served from cache and a killed daemon resumes its
-// in-flight sweeps on restart.
+// in-flight sweeps on restart. It also coordinates work-stealing grid
+// sweeps: `xqsweep -submit` registers a grid, `xqsweep -worker` pulls
+// cells under durable leases (-lease-ttl), and `xqsweep -fetch`
+// retrieves the merged single-process-identical JSONL.
 //
 // Usage:
 //
@@ -44,6 +47,7 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-job watchdog timeout (0 = none)")
 		shotTimeout  = flag.Duration("shot-timeout", 0, "per-shot watchdog timeout inside simulate jobs (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for running jobs during graceful shutdown")
+		leaseTTL     = flag.Duration("lease-ttl", server.DefaultLeaseTTL, "grid cell lease lifetime; a worker silent this long has its cells re-leased")
 	)
 	flag.Parse()
 
@@ -55,6 +59,7 @@ func main() {
 		RetryBase:   *retryBase,
 		JobTimeout:  *jobTimeout,
 		ShotTimeout: *shotTimeout,
+		LeaseTTL:    *leaseTTL,
 	})
 	if err != nil {
 		_, _ = fmt.Fprintln(os.Stderr, "xqd:", err)

@@ -13,6 +13,15 @@
 //	xqsweep -fig 19 -csv fig19.csv
 //	xqsweep -all -jsonl results.jsonl            # one pinned-schema JSON value per line
 //	xqsweep -fig 5 -cpuprofile cpu.prof -memprofile mem.prof
+//
+// Sharded grids (distributed sweeps — see README "Distributed sweeps"):
+//
+//	xqsweep -grid circuit -d 3,5,7 -p 1e-3,3e-3 -jsonl grid.jsonl    # whole grid, one process
+//	xqsweep -grid circuit -d 3,5,7 -p 1e-3,3e-3 -shard 0/3 -jsonl s0.jsonl
+//	xqsweep -merge -jsonl grid.jsonl s0.jsonl s1.jsonl s2.jsonl      # == single-process bytes
+//	xqsweep -grid circuit -d 3,5,7 -p 1e-3,3e-3 -submit http://localhost:8080
+//	xqsweep -worker http://localhost:8080 -grid-id <id>              # work-stealing worker
+//	xqsweep -fetch http://localhost:8080 -grid-id <id> -jsonl grid.jsonl
 package main
 
 import (
@@ -44,8 +53,55 @@ func main() {
 		md          = flag.String("md", "", "write a Markdown reproduction report to this file")
 		checkpoint  = flag.String("checkpoint", "", "snapshot completed experiments to this JSON file after each cell")
 		resume      = flag.Bool("resume", false, "with -checkpoint: skip experiments the snapshot already holds")
+
+		// Sharded grid modes.
+		grid       = flag.String("grid", "", "run a parameter grid of this kind ("+strings.Join(xqsim.GridKinds(), ", ")+"); cells enumerate row-major over -d × -p with per-cell seeds")
+		gridDs     = flag.String("d", "", "with -grid: comma-separated code distances (odd, >= 3)")
+		gridPs     = flag.String("p", "", "with -grid: comma-separated physical error rates")
+		gridRounds = flag.Int("rounds", 0, "with -grid: syndrome rounds per trial (0 = kind default)")
+		gridTrials = flag.Int("trials", 0, "with -grid: trials per cell (0 = default 256)")
+		shard      = flag.String("shard", "", "with -grid: run only shard i/N of the cells (round-robin)")
+		merge      = flag.Bool("merge", false, "merge shard JSONL files (arguments) into the single-process-identical grid JSONL")
+		submit     = flag.String("submit", "", "with -grid: register the grid with the xqd daemon at this URL and print its id")
+		worker     = flag.String("worker", "", "work-stealing worker: lease cells from the xqd daemon at this URL (needs -grid-id)")
+		fetch      = flag.String("fetch", "", "fetch the merged grid JSONL from the xqd daemon at this URL (needs -grid-id)")
+		gridID     = flag.String("grid-id", "", "grid id for -worker / -fetch")
+		workerName = flag.String("worker-name", "", "worker identity for leases (default host-pid)")
+		leaseBatch = flag.Int("lease-batch", 1, "cells to lease per request in -worker mode")
 	)
 	flag.Parse()
+
+	if *grid != "" || *merge || *worker != "" || *fetch != "" {
+		gf := gridFlags{
+			kind: *grid, ds: *gridDs, ps: *gridPs, rounds: *gridRounds, trials: *gridTrials,
+			seed: *seed, shard: *shard, jsonl: *jsonl, csv: *csv,
+			checkpoint: *checkpoint, resume: *resume,
+			submit: *submit, fetch: *fetch, gridID: *gridID,
+		}
+		ctx, stop := cli.SignalContext()
+		defer stop()
+		var err error
+		switch {
+		case *merge:
+			err = runGridMerge(gf, flag.Args())
+		case *worker != "":
+			err = runGridWorker(ctx, workerFlags{
+				url: *worker, gridID: *gridID, name: *workerName,
+				leaseBatch: *leaseBatch, checkpoint: *checkpoint, csv: *csv,
+			})
+		case *fetch != "":
+			err = runGridFetch(ctx, gf)
+		case *submit != "":
+			err = runGridSubmit(ctx, gf)
+		default:
+			err = runGridLocal(ctx, gf)
+		}
+		if err != nil {
+			_, _ = fmt.Fprintln(os.Stderr, "xqsweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	defer prof.Start()()
 	opts := xqsim.ExperimentOptions{Shots: *shots, Seed: *seed, TournamentDecoder: *decoderName}
 

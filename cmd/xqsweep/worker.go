@@ -1,0 +1,414 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"xqsim"
+)
+
+// gridClient speaks the xqd grid protocol (see internal/server: POST
+// /grids, POST /grids/{id}/lease, POST /grids/{id}/cells/{index},
+// .../renew, GET /grids/{id}/result).
+type gridClient struct {
+	base   string
+	client *http.Client
+}
+
+func newGridClient(base string) *gridClient {
+	return &gridClient{base: strings.TrimRight(base, "/"), client: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// apiError decodes the daemon's {"error": ...} body into a Go error.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("xqd: %s (%s)", e.Error, resp.Status)
+	}
+	return fmt.Errorf("xqd: %s", resp.Status)
+}
+
+func (c *gridClient) postJSON(ctx context.Context, path string, body, out any) (int, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode >= 300 {
+		return resp.StatusCode, apiError(resp)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+type gridCreateReply struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Cells  int    `json:"cells"`
+}
+
+func (c *gridClient) create(ctx context.Context, g xqsim.GridSpec) (gridCreateReply, error) {
+	var out gridCreateReply
+	_, err := c.postJSON(ctx, "/grids", g, &out)
+	return out, err
+}
+
+// leasedCell mirrors server.LeasedCell.
+type leasedCell struct {
+	Cell      xqsim.GridCell `json:"cell"`
+	Attempt   int            `json:"attempt"`
+	TTLMillis int64          `json:"ttl_ms"`
+}
+
+// gridStatus mirrors server.GridStatus.
+type gridStatus struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	Cells    int    `json:"cells"`
+	Complete int    `json:"complete"`
+	Leased   int    `json:"leased"`
+	Done     bool   `json:"done"`
+}
+
+type leaseReply struct {
+	Cells  []leasedCell `json:"cells"`
+	Status gridStatus   `json:"status"`
+}
+
+func (c *gridClient) lease(ctx context.Context, id, worker string, max int) (leaseReply, error) {
+	var out leaseReply
+	_, err := c.postJSON(ctx, "/grids/"+id+"/lease", map[string]any{"worker": worker, "max": max}, &out)
+	return out, err
+}
+
+func (c *gridClient) renew(ctx context.Context, id, worker string, index int) error {
+	_, err := c.postJSON(ctx, fmt.Sprintf("/grids/%s/cells/%d/renew", id, index), map[string]any{"worker": worker}, nil)
+	return err
+}
+
+// complete pushes one cell's pinned bytes. conflict=true reports a 409:
+// the daemon already holds different bytes for the cell, a determinism
+// violation the worker must not paper over.
+func (c *gridClient) complete(ctx context.Context, id string, r xqsim.GridCellResult) (conflict bool, err error) {
+	raw, err := xqsim.MarshalGridCell(r)
+	if err != nil {
+		return false, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		fmt.Sprintf("%s/grids/%s/cells/%d", c.base, id, r.Index), bytes.NewReader(raw))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode == http.StatusConflict {
+		return true, apiError(resp)
+	}
+	if resp.StatusCode >= 300 {
+		return false, apiError(resp)
+	}
+	return false, nil
+}
+
+func (c *gridClient) result(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/grids/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode >= 300 {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// runGridSubmit registers the grid with the daemon and prints its id —
+// the handle workers and -fetch use.
+func runGridSubmit(ctx context.Context, f gridFlags) error {
+	g, err := f.buildGridSpec()
+	if err != nil {
+		return err
+	}
+	reply, err := newGridClient(f.submit).create(ctx, g)
+	if err != nil {
+		return err
+	}
+	_, _ = fmt.Fprintf(os.Stderr, "grid %s (%d cells): %s\n", reply.ID, reply.Cells, reply.Status)
+	fmt.Println(reply.ID)
+	return nil
+}
+
+// runGridFetch downloads the merged grid JSONL — byte-identical to a
+// single-process run — once every cell is complete.
+func runGridFetch(ctx context.Context, f gridFlags) error {
+	if f.gridID == "" {
+		return fmt.Errorf("-fetch needs -grid-id")
+	}
+	out, err := newGridClient(f.fetch).result(ctx, f.gridID)
+	if err != nil {
+		return err
+	}
+	if f.jsonl != "" {
+		if err := os.WriteFile(f.jsonl, out, 0o644); err != nil {
+			return err
+		}
+		_, _ = fmt.Fprintf(os.Stderr, "fetched grid %s to %s\n", f.gridID, f.jsonl)
+		return nil
+	}
+	_, err = os.Stdout.Write(out)
+	return err
+}
+
+// workerFlags collects the -worker mode knobs.
+type workerFlags struct {
+	url        string // -worker <url>
+	gridID     string
+	name       string // -worker-name
+	leaseBatch int
+	checkpoint string
+	csv        string
+}
+
+// runGridWorker is the work-stealing loop: lease a batch of cells,
+// run each through the checkpoint machinery (so a restarted worker
+// re-pushes instead of recomputing), push the pinned bytes, repeat
+// until the daemon reports the grid done. A background goroutine
+// renews the leases on every not-yet-pushed cell of the batch at a
+// third of the TTL — queued cells included, so only a dead worker's
+// leases expire.
+func runGridWorker(ctx context.Context, f workerFlags) error {
+	if f.gridID == "" {
+		return fmt.Errorf("-worker needs -grid-id")
+	}
+	if f.name == "" {
+		host, _ := os.Hostname()
+		f.name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if f.leaseBatch <= 0 {
+		f.leaseBatch = 1
+	}
+	c := newGridClient(f.url)
+
+	// Leased cells are self-contained (d, p, rounds, trials, per-cell
+	// seed); the only spec field execution needs beyond them is the
+	// kind, which rides the lease reply's status snapshot.
+	var kind string
+
+	var (
+		ck      *xqsim.SweepCheckpoint
+		results []xqsim.GridCellResult
+		timings []xqsim.GridCellTiming
+	)
+	if f.checkpoint != "" {
+		loaded, err := xqsim.LoadSweepCheckpoint(f.checkpoint)
+		if err != nil {
+			return err
+		}
+		if loaded.CompatibleGrid(f.gridID) {
+			ck = loaded
+			_, _ = fmt.Fprintf(os.Stderr, "worker %s: resuming checkpoint %s (%d cells)\n", f.name, f.checkpoint, len(loaded.Cells))
+		}
+		if ck == nil {
+			ck = xqsim.NewSweepCheckpoint(0, 0)
+			ck.Grid = f.gridID
+			ck.Cells = map[int]xqsim.GridCellResult{}
+		}
+		// Re-push anything a previous life computed but may not have
+		// delivered; completion is idempotent, so double-push is safe.
+		for _, r := range sortedCells(ck.Cells) {
+			if conflict, err := c.complete(ctx, f.gridID, r); conflict {
+				return err
+			} else if err != nil {
+				_, _ = fmt.Fprintf(os.Stderr, "worker %s: re-push cell %d: %v\n", f.name, r.Index, err)
+			}
+		}
+	}
+
+	clock := monotonicClock()
+	ran := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		reply, err := c.lease(ctx, f.gridID, f.name, f.leaseBatch)
+		if err != nil {
+			return err
+		}
+		kind = reply.Status.Kind
+		if len(reply.Cells) == 0 {
+			if reply.Status.Done {
+				_, _ = fmt.Fprintf(os.Stderr, "worker %s: grid %s done (%d/%d cells, ran %d here)\n",
+					f.name, f.gridID, reply.Status.Complete, reply.Status.Cells, ran)
+				break
+			}
+			// Everything unfinished is leased elsewhere; poll until a
+			// lease expires or the grid completes.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(200 * time.Millisecond):
+			}
+			continue
+		}
+		g := xqsim.GridSpec{Kind: kind}
+		renew := startBatchRenewal(ctx, c, f, reply.Cells)
+		for _, lc := range reply.Cells {
+			if lc.Attempt > 1 {
+				_, _ = fmt.Fprintf(os.Stderr, "worker %s: cell %d re-leased (attempt %d)\n", f.name, lc.Cell.Index, lc.Attempt)
+			}
+			r, t, err := xqsim.RunGridCell(ctx, g, lc.Cell, clock)
+			if err != nil {
+				renew.stop()
+				return err
+			}
+			results = append(results, r)
+			timings = append(timings, t)
+			ran++
+			if ck != nil {
+				ck.PutCell(r)
+				if err := ck.Save(f.checkpoint); err != nil {
+					renew.stop()
+					return err
+				}
+			}
+			conflict, err := c.complete(ctx, f.gridID, r)
+			// Pushed, conflicted, or failed: stop renewing either way. On
+			// a transient push failure the lease expires and another
+			// worker (or this one's restart, via the checkpoint) rescues
+			// the cell.
+			renew.done(r.Index)
+			if conflict {
+				renew.stop()
+				return err
+			}
+			if err != nil {
+				_, _ = fmt.Fprintf(os.Stderr, "worker %s: push cell %d: %v\n", f.name, r.Index, err)
+			}
+		}
+		renew.stop()
+	}
+
+	if f.csv != "" && len(results) > 0 {
+		g := xqsim.GridSpec{Kind: kind}
+		if err := writeFileWith(f.csv, func(w *os.File) error {
+			return xqsim.WriteGridCSV(w, g, "", results, timings)
+		}); err != nil {
+			return err
+		}
+		_, _ = fmt.Fprintf(os.Stderr, "worker %s: wrote timings to %s\n", f.name, f.csv)
+	}
+	return nil
+}
+
+// batchRenewal keeps every leased-but-unfinished cell of one batch
+// alive: a single goroutine renews all pending leases at a third of
+// the TTL, queued cells included — without it, cells waiting behind a
+// slow batch-mate would expire and get recomputed elsewhere.
+type batchRenewal struct {
+	cancel context.CancelFunc
+	mu     sync.Mutex
+	left   map[int]bool
+}
+
+// done removes a pushed (or abandoned) cell from the renewal set.
+func (r *batchRenewal) done(index int) {
+	r.mu.Lock()
+	delete(r.left, index)
+	r.mu.Unlock()
+}
+
+func (r *batchRenewal) stop() { r.cancel() }
+
+func (r *batchRenewal) pending() []int {
+	r.mu.Lock()
+	out := make([]int, 0, len(r.left))
+	for i := range r.left {
+		out = append(out, i)
+	}
+	r.mu.Unlock()
+	sort.Ints(out)
+	return out
+}
+
+func startBatchRenewal(ctx context.Context, c *gridClient, f workerFlags, cells []leasedCell) *batchRenewal {
+	rctx, cancel := context.WithCancel(ctx)
+	r := &batchRenewal{cancel: cancel, left: map[int]bool{}}
+	ttl := time.Second
+	for _, lc := range cells {
+		r.left[lc.Cell.Index] = true
+		if d := time.Duration(lc.TTLMillis) * time.Millisecond; d > 0 {
+			ttl = d
+		}
+	}
+	interval := ttl / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-rctx.Done():
+				return
+			case <-t.C:
+				for _, i := range r.pending() {
+					if err := c.renew(rctx, f.gridID, f.name, i); err != nil && rctx.Err() == nil {
+						// Lost lease (expired and re-leased, or daemon
+						// gone): keep computing — completion is
+						// idempotent, the first result to land wins.
+						_, _ = fmt.Fprintf(os.Stderr, "worker %s: renew cell %d: %v\n", f.name, i, err)
+					}
+				}
+			}
+		}
+	}()
+	return r
+}
+
+// sortedCells returns the checkpoint's cells ascending by index.
+func sortedCells(m map[int]xqsim.GridCellResult) []xqsim.GridCellResult {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]xqsim.GridCellResult, 0, len(m))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}

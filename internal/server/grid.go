@@ -1,0 +1,358 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"xqsim/internal/store"
+	"xqsim/internal/sweep"
+)
+
+// Grid-coordinator errors, mapped to HTTP statuses by the server layer.
+var (
+	// ErrUnknownGrid: no grid with that id was ever submitted.
+	ErrUnknownGrid = errors.New("server: unknown grid")
+	// ErrCellConflict: a cell was completed twice with different bytes —
+	// a determinism violation the coordinator refuses to paper over.
+	ErrCellConflict = errors.New("server: cell completed with conflicting result")
+	// ErrLeaseHeld: another worker holds a live lease on the cell.
+	ErrLeaseHeld = errors.New("server: cell leased by another worker")
+	// ErrNoLease: the worker asked to renew a lease it does not hold.
+	ErrNoLease = errors.New("server: no such lease")
+	// ErrGridIncomplete: the merged result was requested before every
+	// cell completed.
+	ErrGridIncomplete = errors.New("server: grid not complete")
+)
+
+// DefaultLeaseTTL is the lease lifetime when Config leaves it zero.
+const DefaultLeaseTTL = 30 * time.Second
+
+// gridLease is the durable lease record: who is working a cell and
+// until when. Leases are ordinary store records, so a daemon restart
+// (or kill -9) preserves them; a worker that dies simply stops
+// renewing and its cells become leasable again at the deadline.
+type gridLease struct {
+	Worker string `json:"worker"`
+	// DeadlineNs is the wall-clock expiry, unix nanoseconds.
+	DeadlineNs int64 `json:"deadline_ns"`
+	// Attempt counts how many times the cell has been leased; a cell on
+	// attempt > 1 was reclaimed from a dead or straggling worker.
+	Attempt int `json:"attempt"`
+}
+
+// GridStatus is a point-in-time public snapshot of one grid.
+type GridStatus struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	Cells    int    `json:"cells"`
+	Complete int    `json:"complete"`
+	// Leased counts cells under a live (unexpired) lease.
+	Leased int  `json:"leased"`
+	Done   bool `json:"done"`
+}
+
+// LeasedCell is one unit of leased work handed to a worker.
+type LeasedCell struct {
+	Cell    sweep.Cell `json:"cell"`
+	Attempt int        `json:"attempt"`
+	// TTLMillis tells the worker how long it holds the lease; it should
+	// renew well before, and must expect re-leasing after.
+	TTLMillis int64 `json:"ttl_ms"`
+}
+
+// GridCoordinator serves work-stealing sweep grids over the durable
+// store: grids are submitted once, workers lease cells with deadlines,
+// push results idempotently, and the merged output is byte-identical
+// to a single-process run. All state (specs, leases, completed cells)
+// lives in the store, so the protocol survives daemon restarts.
+//
+// Store keys: grid/<id> holds the normalized spec, gcell/<id>/<index>
+// the pinned cell-result bytes, glease/<id>/<index> the lease record.
+type GridCoordinator struct {
+	mu sync.Mutex
+	st *store.Store
+	// now is a test hook for lease-expiry time travel.
+	now      func() time.Time
+	leaseTTL time.Duration
+}
+
+// NewGridCoordinator serves grids over st with the given lease TTL
+// (0 selects DefaultLeaseTTL).
+func NewGridCoordinator(st *store.Store, leaseTTL time.Duration) *GridCoordinator {
+	if leaseTTL <= 0 {
+		leaseTTL = DefaultLeaseTTL
+	}
+	return &GridCoordinator{st: st, now: time.Now, leaseTTL: leaseTTL}
+}
+
+func gridKey(id string) string         { return "grid/" + id }
+func cellKey(id string, i int) string  { return fmt.Sprintf("gcell/%s/%06d", id, i) }
+func leaseKey(id string, i int) string { return fmt.Sprintf("glease/%s/%06d", id, i) }
+
+// Create registers a grid. The id is the normalized spec's content
+// hash, so resubmitting the same study is a no-op returning the same
+// id (created = false).
+func (gc *GridCoordinator) Create(spec sweep.GridSpec) (id string, created bool, err error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return "", false, err
+	}
+	id = norm.Hash()
+
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	if gc.st.Has(gridKey(id)) {
+		return id, false, nil
+	}
+	raw, err := json.Marshal(norm)
+	if err != nil {
+		return "", false, fmt.Errorf("server: encode grid spec: %w", err)
+	}
+	if err := gc.st.Put(gridKey(id), raw); err != nil {
+		return "", false, err
+	}
+	return id, true, nil
+}
+
+// Spec returns a grid's normalized spec.
+func (gc *GridCoordinator) Spec(id string) (sweep.GridSpec, error) {
+	raw, ok, err := gc.st.Get(gridKey(id))
+	if err != nil {
+		return sweep.GridSpec{}, err
+	}
+	if !ok {
+		return sweep.GridSpec{}, ErrUnknownGrid
+	}
+	var g sweep.GridSpec
+	if err := json.Unmarshal(raw, &g); err != nil {
+		return sweep.GridSpec{}, fmt.Errorf("server: decode grid spec: %w", err)
+	}
+	return g, nil
+}
+
+// Lease hands the requesting worker up to max incomplete cells that
+// are not under a live lease, lowest index first, and records a
+// durable lease (deadline = now + TTL) for each. A cell whose previous
+// lease expired is re-leased with an incremented attempt — that is the
+// work-stealing path that rescues cells from killed or straggling
+// workers. An empty cell list with done=false means everything left is
+// leased out: poll again later.
+func (gc *GridCoordinator) Lease(id, worker string, max int) ([]LeasedCell, GridStatus, error) {
+	if max <= 0 {
+		max = 1
+	}
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	g, err := gc.Spec(id)
+	if err != nil {
+		return nil, GridStatus{}, err
+	}
+	nowNs := gc.now().UnixNano()
+	var out []LeasedCell
+	for i := 0; i < g.NumCells() && len(out) < max; i++ {
+		if gc.st.Has(cellKey(id, i)) {
+			continue
+		}
+		attempt := 1
+		if raw, ok, err := gc.st.Get(leaseKey(id, i)); err == nil && ok {
+			var l gridLease
+			if json.Unmarshal(raw, &l) == nil {
+				if l.DeadlineNs > nowNs && l.Worker != worker {
+					continue // live lease held elsewhere
+				}
+				attempt = l.Attempt + 1
+				if l.Worker == worker && l.DeadlineNs > nowNs {
+					// Re-leasing to the same worker (e.g. it restarted
+					// fast) extends rather than escalates.
+					attempt = l.Attempt
+				}
+			}
+		}
+		l := gridLease{Worker: worker, DeadlineNs: nowNs + gc.leaseTTL.Nanoseconds(), Attempt: attempt}
+		raw, err := json.Marshal(l)
+		if err != nil {
+			return nil, GridStatus{}, fmt.Errorf("server: encode lease: %w", err)
+		}
+		if err := gc.st.Put(leaseKey(id, i), raw); err != nil {
+			return nil, GridStatus{}, err
+		}
+		out = append(out, LeasedCell{Cell: g.Cell(i), Attempt: attempt, TTLMillis: gc.leaseTTL.Milliseconds()})
+	}
+	st, err := gc.statusLocked(id, g)
+	if err != nil {
+		return nil, GridStatus{}, err
+	}
+	return out, st, nil
+}
+
+// Renew extends the worker's lease on a cell by one TTL from now.
+func (gc *GridCoordinator) Renew(id, worker string, index int) error {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	g, err := gc.Spec(id)
+	if err != nil {
+		return err
+	}
+	if index < 0 || index >= g.NumCells() {
+		return fmt.Errorf("server: cell index %d out of range [0, %d)", index, g.NumCells())
+	}
+	raw, ok, err := gc.st.Get(leaseKey(id, index))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return ErrNoLease
+	}
+	var l gridLease
+	if err := json.Unmarshal(raw, &l); err != nil {
+		return fmt.Errorf("server: decode lease: %w", err)
+	}
+	if l.Worker != worker {
+		return fmt.Errorf("%w (held by %q)", ErrLeaseHeld, l.Worker)
+	}
+	l.DeadlineNs = gc.now().UnixNano() + gc.leaseTTL.Nanoseconds()
+	raw, err = json.Marshal(l)
+	if err != nil {
+		return fmt.Errorf("server: encode lease: %w", err)
+	}
+	return gc.st.Put(leaseKey(id, index), raw)
+}
+
+// Complete records one cell's pinned result bytes. Completion is
+// idempotent and lease-free by design: a worker whose lease expired
+// mid-cell (and whose cell was re-leased) may still push — both
+// completions carry the identical bytes because cells are
+// deterministic, and the first write wins. Bytes that disagree with an
+// existing record are rejected (ErrCellConflict) instead of silently
+// replacing it.
+func (gc *GridCoordinator) Complete(id string, index int, payload []byte) (GridStatus, error) {
+	cell, err := sweep.UnmarshalCell(payload)
+	if err != nil {
+		return GridStatus{}, err
+	}
+	canonical, err := sweep.MarshalCell(cell)
+	if err != nil {
+		return GridStatus{}, err
+	}
+
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	g, err := gc.Spec(id)
+	if err != nil {
+		return GridStatus{}, err
+	}
+	if cell.Index != index {
+		return GridStatus{}, fmt.Errorf("server: payload is cell %d, url names cell %d", cell.Index, index)
+	}
+	if err := g.ValidateCell(cell); err != nil {
+		return GridStatus{}, err
+	}
+	if prev, ok, err := gc.st.Get(cellKey(id, index)); err != nil {
+		return GridStatus{}, err
+	} else if ok {
+		if !bytes.Equal(prev, canonical) {
+			return GridStatus{}, fmt.Errorf("%w: cell %d", ErrCellConflict, index)
+		}
+		// Idempotent duplicate: already durable, nothing to do.
+		return gc.statusLocked(id, g)
+	}
+	// Result durable before the lease is released: a crash between the
+	// two leaves a stale lease that simply expires.
+	if err := gc.st.Put(cellKey(id, index), canonical); err != nil {
+		return GridStatus{}, err
+	}
+	if err := gc.st.Delete(leaseKey(id, index)); err != nil {
+		return GridStatus{}, err
+	}
+	return gc.statusLocked(id, g)
+}
+
+// Status snapshots one grid's progress.
+func (gc *GridCoordinator) Status(id string) (GridStatus, error) {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	g, err := gc.Spec(id)
+	if err != nil {
+		return GridStatus{}, err
+	}
+	return gc.statusLocked(id, g)
+}
+
+func (gc *GridCoordinator) statusLocked(id string, g sweep.GridSpec) (GridStatus, error) {
+	st := GridStatus{ID: id, Kind: g.Kind, Cells: g.NumCells()}
+	nowNs := gc.now().UnixNano()
+	for i := 0; i < st.Cells; i++ {
+		if gc.st.Has(cellKey(id, i)) {
+			st.Complete++
+			continue
+		}
+		if raw, ok, err := gc.st.Get(leaseKey(id, i)); err == nil && ok {
+			var l gridLease
+			if json.Unmarshal(raw, &l) == nil && l.DeadlineNs > nowNs {
+				st.Leased++
+			}
+		}
+	}
+	st.Done = st.Complete == st.Cells
+	return st, nil
+}
+
+// Grids lists every known grid in id order.
+func (gc *GridCoordinator) Grids() ([]GridStatus, error) {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	var out []GridStatus
+	for _, key := range gc.st.Keys() {
+		if len(key) <= 5 || key[:5] != "grid/" {
+			continue
+		}
+		id := key[5:]
+		g, err := gc.Spec(id)
+		if err != nil {
+			continue
+		}
+		st, err := gc.statusLocked(id, g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// Result assembles the finished grid's canonical JSONL: the header
+// line plus every cell ascending by index — byte-identical to what
+// `xqsweep -grid … -jsonl` writes in a single process, because both
+// sides render the same pinned records in the same order.
+func (gc *GridCoordinator) Result(id string) ([]byte, error) {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	g, err := gc.Spec(id)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]sweep.CellResult, 0, g.NumCells())
+	for i := 0; i < g.NumCells(); i++ {
+		raw, ok, err := gc.st.Get(cellKey(id, i))
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: cell %d of %d missing", ErrGridIncomplete, i, g.NumCells())
+		}
+		c, err := sweep.UnmarshalCell(raw)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, c)
+	}
+	var buf bytes.Buffer
+	if err := sweep.WriteGridJSONL(&buf, g, cells); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -4,11 +4,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"xqsim/internal/sweep"
 )
 
 func postJob(t *testing.T, ts *httptest.Server, body string) (*http.Response, submitResponse) {
@@ -195,5 +199,166 @@ func TestHTTPDrainingReturns503(t *testing.T) {
 	var health map[string]string
 	if code := getJSON(t, ts, "/healthz", &health); code != http.StatusOK || health["status"] != "draining" {
 		t.Fatalf("health while draining = %d %+v", code, health)
+	}
+}
+
+// TestHTTPGridProtocol drives the full work-stealing grid flow over
+// HTTP: submit, lease, complete (with a duplicate and a conflict), and
+// fetch the merged result — which must be byte-identical to the
+// single-process JSONL.
+func TestHTTPGridProtocol(t *testing.T) {
+	sched := newT(t, Config{Workers: 1, LeaseTTL: 30 * time.Second})
+	defer drainT(t, sched)
+	ts := httptest.NewServer(NewServer(sched))
+	defer ts.Close()
+
+	g, err := sweep.GridSpec{
+		Kind: sweep.GridThreshold, Ds: []int{3}, Ps: []float64{0.01, 0.03}, Trials: 8, Seed: 3,
+	}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specRaw, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Submit; resubmission returns 200 with the same id.
+	resp, err := http.Post(ts.URL+"/grids", "application/json", bytes.NewReader(specRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created gridCreateResponse
+	_ = json.NewDecoder(resp.Body).Decode(&created)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || created.Cells != 2 {
+		t.Fatalf("create = %d %+v", resp.StatusCode, created)
+	}
+	resp, err = http.Post(ts.URL+"/grids", "application/json", bytes.NewReader(specRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again gridCreateResponse
+	_ = json.NewDecoder(resp.Body).Decode(&again)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || again.ID != created.ID {
+		t.Fatalf("re-create = %d %+v", resp.StatusCode, again)
+	}
+
+	// Lease everything.
+	resp, err = http.Post(ts.URL+"/grids/"+created.ID+"/lease", "application/json",
+		strings.NewReader(`{"worker":"w1","max":8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leased leaseResponse
+	_ = json.NewDecoder(resp.Body).Decode(&leased)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(leased.Cells) != 2 {
+		t.Fatalf("lease = %d %+v", resp.StatusCode, leased)
+	}
+
+	// Renew one; a stranger renewing gets a conflict.
+	resp, err = http.Post(ts.URL+"/grids/"+created.ID+"/cells/0/renew", "application/json",
+		strings.NewReader(`{"worker":"w1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("renew = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/grids/"+created.ID+"/cells/0/renew", "application/json",
+		strings.NewReader(`{"worker":"w2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("foreign renew = %d, want 409", resp.StatusCode)
+	}
+
+	// Result while incomplete: 409.
+	resp, err = http.Get(ts.URL + "/grids/" + created.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("incomplete result = %d, want 409", resp.StatusCode)
+	}
+
+	// Complete both cells for real; re-push cell 0 (idempotent) and a
+	// corrupted variant (409).
+	results := make([]sweep.CellResult, g.NumCells())
+	for i := 0; i < g.NumCells(); i++ {
+		r, _, err := sweep.RunGridCell(context.Background(), g, g.Cell(i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = r
+		raw, err := sweep.MarshalCell(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(fmt.Sprintf("%s/grids/%s/cells/%d", ts.URL, created.ID, i),
+			"application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("complete cell %d = %d", i, resp.StatusCode)
+		}
+	}
+	dupRaw, err := sweep.MarshalCell(results[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/grids/"+created.ID+"/cells/0", "application/json", bytes.NewReader(dupRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("idempotent re-complete = %d, want 200", resp.StatusCode)
+	}
+	bad := results[0]
+	bad.Rate += 0.5
+	badRaw, err := sweep.MarshalCell(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/grids/"+created.ID+"/cells/0", "application/json", bytes.NewReader(badRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("conflicting re-complete = %d, want 409", resp.StatusCode)
+	}
+
+	// Fetch: byte-identical to the single-process JSONL.
+	resp, err = http.Get(ts.URL + "/grids/" + created.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("result = %d err %v", resp.StatusCode, err)
+	}
+	var want bytes.Buffer
+	if err := sweep.WriteGridJSONL(&want, g, results); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("HTTP result differs from single-process bytes:\ngot  %q\nwant %q", got, want.Bytes())
+	}
+
+	// Listing shows the finished grid.
+	var grids []GridStatus
+	if code := getJSON(t, ts, "/grids", &grids); code != http.StatusOK || len(grids) != 1 || !grids[0].Done {
+		t.Errorf("grid list = %d %+v", code, grids)
 	}
 }

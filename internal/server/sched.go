@@ -41,6 +41,10 @@ type Config struct {
 	// ShotTimeout is passed through to the simulation's per-shot
 	// watchdog (0 = none).
 	ShotTimeout time.Duration
+	// LeaseTTL is the grid work-stealing lease lifetime (0 selects
+	// DefaultLeaseTTL). A worker that stops renewing for this long has
+	// its cells re-leased to other workers.
+	LeaseTTL time.Duration
 }
 
 // ErrOverloaded is returned by Submit when the bounded queue is full;
@@ -105,8 +109,9 @@ type jobState struct {
 
 // Scheduler runs jobs on a bounded worker pool with durable outcomes.
 type Scheduler struct {
-	cfg Config
-	st  *store.Store
+	cfg   Config
+	st    *store.Store
+	grids *GridCoordinator
 
 	mu       sync.Mutex
 	jobs     map[string]*jobState
@@ -154,6 +159,7 @@ func New(cfg Config) (*Scheduler, error) {
 	s := &Scheduler{
 		cfg:     cfg,
 		st:      st,
+		grids:   NewGridCoordinator(st, cfg.LeaseTTL),
 		jobs:    make(map[string]*jobState),
 		backlog: faults.NewBacklogTracker(cfg.QueueDepth, faults.PolicyBackpressure),
 	}
@@ -600,6 +606,10 @@ func (s *Scheduler) Stats() Stats {
 	}
 	return st
 }
+
+// Grids returns the work-stealing grid coordinator sharing this
+// scheduler's durable store.
+func (s *Scheduler) Grids() *GridCoordinator { return s.grids }
 
 // Draining reports whether Drain has begun.
 func (s *Scheduler) Draining() bool {

@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+
+	"xqsim/internal/sweep"
 )
 
 // Server is the xqd daemon's HTTP+JSON face over a Scheduler.
@@ -19,6 +22,19 @@ import (
 //	GET  /jobs/{id}/result the finished job's payload, byte-stable
 //	GET  /healthz         liveness
 //	GET  /stats           scheduler counters
+//
+// Work-stealing grid sweeps (see GridCoordinator):
+//
+//	POST /grids                        register a GridSpec; returns its id
+//	GET  /grids                        list known grids with progress
+//	GET  /grids/{id}                   one grid's status
+//	POST /grids/{id}/lease             lease up to n incomplete cells
+//	POST /grids/{id}/cells/{index}     complete a cell (idempotent; 409
+//	                                   on conflicting bytes)
+//	POST /grids/{id}/cells/{index}/renew extend a held lease
+//	GET  /grids/{id}/result            merged JSONL, byte-identical to a
+//	                                   single-process run; 409 while
+//	                                   incomplete
 type Server struct {
 	sched *Scheduler
 	mux   *http.ServeMux
@@ -36,6 +52,13 @@ func NewServer(sched *Scheduler) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /grids", s.handleGridCreate)
+	s.mux.HandleFunc("GET /grids", s.handleGridList)
+	s.mux.HandleFunc("GET /grids/{id}", s.handleGridStatus)
+	s.mux.HandleFunc("POST /grids/{id}/lease", s.handleGridLease)
+	s.mux.HandleFunc("POST /grids/{id}/cells/{index}", s.handleGridComplete)
+	s.mux.HandleFunc("POST /grids/{id}/cells/{index}/renew", s.handleGridRenew)
+	s.mux.HandleFunc("GET /grids/{id}/result", s.handleGridResult)
 	return s
 }
 
@@ -127,6 +150,172 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.sched.Stats())
+}
+
+// gridCreateResponse is the POST /grids reply body.
+type gridCreateResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"` // created | exists
+	Cells  int    `json:"cells"`
+}
+
+// leaseRequest is the POST /grids/{id}/lease body.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+	Max    int    `json:"max"`
+}
+
+// leaseResponse carries the leased cells plus a progress snapshot so a
+// worker that got nothing knows whether to poll again or exit.
+type leaseResponse struct {
+	Cells  []LeasedCell `json:"cells"`
+	Status GridStatus   `json:"status"`
+}
+
+// renewRequest is the POST /grids/{id}/cells/{index}/renew body.
+type renewRequest struct {
+	Worker string `json:"worker"`
+}
+
+func (s *Server) handleGridCreate(w http.ResponseWriter, r *http.Request) {
+	if s.sched.Draining() {
+		httpError(w, http.StatusServiceUnavailable, ErrDraining.Error())
+		return
+	}
+	var spec sweep.GridSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad grid spec: %v", err))
+		return
+	}
+	id, created, err := s.sched.Grids().Create(spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	g, err := s.sched.Grids().Spec(id)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := gridCreateResponse{ID: id, Status: "exists", Cells: g.NumCells()}
+	code := http.StatusOK
+	if created {
+		resp.Status = "created"
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleGridList(w http.ResponseWriter, _ *http.Request) {
+	grids, err := s.sched.Grids().Grids()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if grids == nil {
+		grids = []GridStatus{}
+	}
+	writeJSON(w, http.StatusOK, grids)
+}
+
+func (s *Server) handleGridStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.sched.Grids().Status(r.PathValue("id"))
+	if err != nil {
+		gridError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleGridLease(w http.ResponseWriter, r *http.Request) {
+	if s.sched.Draining() {
+		httpError(w, http.StatusServiceUnavailable, ErrDraining.Error())
+		return
+	}
+	var req leaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad lease request: %v", err))
+		return
+	}
+	if req.Worker == "" {
+		httpError(w, http.StatusBadRequest, "lease request needs a worker name")
+		return
+	}
+	cells, st, err := s.sched.Grids().Lease(r.PathValue("id"), req.Worker, req.Max)
+	if err != nil {
+		gridError(w, err)
+		return
+	}
+	if cells == nil {
+		cells = []LeasedCell{}
+	}
+	writeJSON(w, http.StatusOK, leaseResponse{Cells: cells, Status: st})
+}
+
+func (s *Server) handleGridComplete(w http.ResponseWriter, r *http.Request) {
+	index, err := strconv.Atoi(r.PathValue("index"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad cell index")
+		return
+	}
+	payload, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("read cell payload: %v", err))
+		return
+	}
+	st, err := s.sched.Grids().Complete(r.PathValue("id"), index, payload)
+	if err != nil {
+		gridError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleGridRenew(w http.ResponseWriter, r *http.Request) {
+	index, err := strconv.Atoi(r.PathValue("index"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad cell index")
+		return
+	}
+	var req renewRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad renew request: %v", err))
+		return
+	}
+	if err := s.sched.Grids().Renew(r.PathValue("id"), req.Worker, index); err != nil {
+		gridError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "renewed"})
+}
+
+func (s *Server) handleGridResult(w http.ResponseWriter, r *http.Request) {
+	out, err := s.sched.Grids().Result(r.PathValue("id"))
+	if err != nil {
+		gridError(w, err)
+		return
+	}
+	// Served verbatim: these are the same bytes a single-process
+	// `xqsweep -grid … -jsonl` run writes.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(out)
+}
+
+// gridError maps coordinator errors onto HTTP statuses.
+func gridError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownGrid):
+		httpError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, ErrCellConflict), errors.Is(err, ErrGridIncomplete), errors.Is(err, ErrLeaseHeld):
+		httpError(w, http.StatusConflict, err.Error())
+	case errors.Is(err, ErrNoLease):
+		httpError(w, http.StatusGone, err.Error())
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

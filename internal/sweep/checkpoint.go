@@ -23,6 +23,15 @@ type Checkpoint struct {
 	Shots int   `json:"shots"`
 	// Results holds the completed experiments keyed by Result.ID.
 	Results map[string]Result `json:"results"`
+
+	// Grid is the content hash of the GridSpec a grid-cell snapshot
+	// belongs to (empty for experiment sweeps). A snapshot's cells can
+	// only be reused for the identical normalized grid.
+	Grid string `json:"grid,omitempty"`
+	// Cells holds completed grid cells keyed by cell index. A sharded
+	// or work-stealing run saves one after each cell, so a killed
+	// worker resumes (or re-pushes) without recomputing.
+	Cells map[int]CellResult `json:"cells,omitempty"`
 }
 
 // checkpointVersion is bumped whenever the snapshot format changes.
@@ -78,6 +87,47 @@ func (c *Checkpoint) Has(id string) bool {
 
 // Put records a completed experiment.
 func (c *Checkpoint) Put(r Result) { c.Results[r.ID] = r }
+
+// NewGridCheckpoint starts an empty snapshot for one grid, identified
+// by the normalized spec's content hash.
+func NewGridCheckpoint(g GridSpec) *Checkpoint {
+	c := NewCheckpoint(g.Seed, g.Trials)
+	c.Grid = g.Hash()
+	c.Cells = map[int]CellResult{}
+	return c
+}
+
+// CompatibleGrid reports whether the snapshot belongs to the grid with
+// the given content hash.
+func (c *Checkpoint) CompatibleGrid(hash string) bool {
+	return c != nil && c.Grid == hash
+}
+
+// HasCell reports whether the cell at the given index is already done.
+func (c *Checkpoint) HasCell(i int) bool {
+	if c == nil {
+		return false
+	}
+	_, ok := c.Cells[i]
+	return ok
+}
+
+// CellAt returns a completed cell result, if present.
+func (c *Checkpoint) CellAt(i int) (CellResult, bool) {
+	if c == nil {
+		return CellResult{}, false
+	}
+	r, ok := c.Cells[i]
+	return r, ok
+}
+
+// PutCell records a completed grid cell.
+func (c *Checkpoint) PutCell(r CellResult) {
+	if c.Cells == nil {
+		c.Cells = map[int]CellResult{}
+	}
+	c.Cells[r.Index] = r
+}
 
 // Save writes the snapshot atomically (temp file + rename in the target
 // directory), so a kill mid-write leaves the previous snapshot intact.
